@@ -1,0 +1,86 @@
+"""Benchmarks regenerating Fig. 3 — Metis vs the optima on SUB-B4.
+
+Panels: 3a service profit, 3b accepted requests, 3c link utilization.
+Shape under test (paper §V-B.1): OPT(SPM) >= Metis and OPT(SPM) >=
+OPT(RL-SPM) in profit; OPT(RL-SPM) accepts everything while the
+profit-aware solutions decline; OPT(SPM) runs at higher average
+utilization than OPT(RL-SPM).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig3 import run_fig3
+from repro.workload.value_models import FlatRateValueModel
+
+
+def fig3_config(request_counts=(30, 60)):
+    return ExperimentConfig(
+        topology="sub-b4",
+        request_counts=request_counts,
+        theta=15,
+        maa_rounds=3,
+        time_limit=300.0,
+        value_model=FlatRateValueModel(0.6),
+    )
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(fig3_config())
+
+
+def by_solution(result, num_requests):
+    return {
+        row[1]: row
+        for row in result.filtered(requests=num_requests)
+        if not math.isnan(row[2])
+    }
+
+
+def test_fig3a_profit(benchmark, fig3_result):
+    """Fig. 3a: profit ordering OPT(SPM) >= {Metis, OPT(RL-SPM)}."""
+    result = benchmark.pedantic(
+        lambda: run_fig3(fig3_config(request_counts=(30,))),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + fig3_result.to_table())
+    for num_requests in (30, 60):
+        rows = by_solution(fig3_result, num_requests)
+        assert rows["OPT(SPM)"][2] >= rows["Metis"][2] - 1e-6
+        assert rows["OPT(SPM)"][2] >= rows["OPT(RL-SPM)"][2] - 1e-6
+    assert result.rows, "benchmarked run produced rows"
+
+
+def test_fig3b_accepted_requests(benchmark, fig3_result):
+    """Fig. 3b: OPT(RL-SPM) accepts all; profit-aware solutions may decline."""
+
+    def check():
+        for num_requests in (30, 60):
+            rows = by_solution(fig3_result, num_requests)
+            assert rows["OPT(RL-SPM)"][3] == num_requests
+            assert rows["Metis"][3] <= num_requests
+            assert rows["OPT(SPM)"][3] <= num_requests
+        return True
+
+    assert benchmark(check)
+
+
+def test_fig3c_link_utilization(benchmark, fig3_result):
+    """Fig. 3c: OPT(SPM) runs hotter than accept-everything OPT(RL-SPM)."""
+
+    def check():
+        for num_requests in (30, 60):
+            rows = by_solution(fig3_result, num_requests)
+            util_opt = rows["OPT(SPM)"][8]
+            util_rl = rows["OPT(RL-SPM)"][8]
+            assert util_opt >= util_rl - 0.05, (
+                f"K={num_requests}: OPT(SPM) mean utilization {util_opt:.3f} "
+                f"should not trail OPT(RL-SPM) {util_rl:.3f}"
+            )
+        return True
+
+    assert benchmark(check)

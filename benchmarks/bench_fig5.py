@@ -1,0 +1,65 @@
+"""Benchmarks regenerating Fig. 5 — Metis vs EcoFlow on B4.
+
+Panels: 5a service profit, 5b accepted requests, 5c average link
+utilization.  Shape under test (paper §V-B.3): Metis matches or beats the
+greedy at moderate load and clearly beats it at scale; EcoFlow accepts far
+fewer requests; Metis runs the purchased links hotter.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    cfg = ExperimentConfig(
+        topology="b4", request_counts=(150, 300), theta=20, maa_rounds=3
+    )
+    return run_fig5(cfg)
+
+
+def test_fig5a_service_profit(benchmark, fig5_result):
+    """Fig. 5a: Metis' profit beats EcoFlow at scale."""
+
+    def check():
+        last = fig5_result.rows[-1]
+        metis_profit, eco_profit = last[1], last[2]
+        assert metis_profit >= eco_profit - 1e-6, (
+            f"Metis {metis_profit:.2f} should beat EcoFlow {eco_profit:.2f} "
+            "at the loaded end of the sweep"
+        )
+        return metis_profit / max(eco_profit, 1e-9)
+
+    ratio = benchmark(check)
+    print("\n" + fig5_result.to_table())
+    print(f"profit ratio Metis/EcoFlow at peak K: {ratio:.3f}")
+
+
+def test_fig5b_accepted_requests(benchmark, fig5_result):
+    """Fig. 5b: EcoFlow's myopic greedy declines far more requests."""
+
+    def check():
+        for row in fig5_result.rows:
+            assert row[3] >= row[4], (
+                f"K={row[0]}: Metis accepted {row[3]} vs EcoFlow {row[4]}"
+            )
+        last = fig5_result.rows[-1]
+        return last[4] / max(last[3], 1)
+
+    eco_share = benchmark(check)
+    assert eco_share < 0.9, "EcoFlow accepts a clearly smaller share at scale"
+
+
+def test_fig5c_average_utilization(benchmark, fig5_result):
+    """Fig. 5c: Metis uses its purchased bandwidth more fully."""
+
+    def check():
+        last = fig5_result.rows[-1]
+        metis_util, eco_util = last[5], last[6]
+        assert metis_util >= eco_util - 0.05
+        return metis_util, eco_util
+
+    metis_util, eco_util = benchmark(check)
+    print(f"\nmean utilization at peak K: Metis={metis_util:.3f} EcoFlow={eco_util:.3f}")

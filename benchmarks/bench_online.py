@@ -1,0 +1,38 @@
+"""Benchmark of the online extension: slot-by-slot exact admission.
+
+Tracks the cost of the per-batch MILPs and asserts the dominance chain
+(online <= offline OPT) at benchmark scale.
+"""
+
+import pytest
+
+from repro.baselines.opt import solve_opt_spm
+from repro.core.online import OnlineScheduler
+from repro.experiments.common import ExperimentConfig, make_instance
+from repro.workload.value_models import FlatRateValueModel
+
+_CFG = ExperimentConfig(
+    topology="sub-b4",
+    request_counts=(60,),
+    value_model=FlatRateValueModel(1.0),
+    time_limit=240.0,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance(_CFG, 60)
+
+
+def test_online_scheduler(benchmark, instance):
+    """Full online run: one exact incremental MILP per arrival slot."""
+    outcome = benchmark.pedantic(
+        lambda: OnlineScheduler().run(instance), rounds=1, iterations=1
+    )
+    offline = solve_opt_spm(instance, time_limit=_CFG.time_limit)
+    assert outcome.profit >= 0.0
+    assert outcome.profit <= offline.profit + 1e-6
+    print(
+        f"\nonline profit {outcome.profit:.2f} vs offline OPT "
+        f"{offline.profit:.2f} ({outcome.profit / max(offline.profit, 1e-9):.0%})"
+    )

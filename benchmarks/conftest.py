@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Benchmarks are exact-solver heavy; each one runs its experiment once
+(``pedantic(rounds=1)``) at a reduced-but-representative scale, asserts the
+paper's qualitative shape, and prints the same rows the paper's figure
+plots (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations

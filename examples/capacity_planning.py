@@ -1,0 +1,102 @@
+"""Capacity planning: tuning Metis' knobs (theta and the tau rule).
+
+The paper stresses that Metis is "easy-to-control": the provider picks the
+number of alternation rounds (theta) and the bandwidth-limiting rule (tau)
+to trade computing time against profit.  This example quantifies that
+trade-off on a seeded SUB-B4 cycle:
+
+* sweep theta and report profit vs wall-clock;
+* compare the paper's min-utilization tau against the proportional rule.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import time
+
+from repro import WorkloadConfig, generate_workload, sub_b4
+from repro.core import Metis, MinUtilizationLimiter, ProportionalLimiter, SPMInstance
+from repro.util.tables import format_table
+from repro.workload import FlatRateValueModel
+
+SEED = 2019
+
+
+def build_instance() -> SPMInstance:
+    topology = sub_b4()
+    workload = generate_workload(
+        topology,
+        WorkloadConfig(
+            num_requests=120,
+            max_duration=4,
+            value_model=FlatRateValueModel(0.6),
+        ),
+        rng=SEED,
+    )
+    return SPMInstance.build(topology, workload, k_paths=3)
+
+
+def sweep_theta(instance: SPMInstance) -> None:
+    rows = []
+    for theta in (1, 5, 10, 20, 40):
+        started = time.perf_counter()
+        outcome = Metis(theta=theta, maa_rounds=3).solve(instance, rng=SEED)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [
+                theta,
+                outcome.num_rounds,
+                outcome.best.profit,
+                outcome.best.num_accepted,
+                elapsed,
+            ]
+        )
+    print(
+        format_table(
+            ["theta", "rounds_run", "profit", "accepted", "seconds"],
+            rows,
+            title="Theta sweep (min-utilization tau)",
+        )
+    )
+
+
+def compare_limiters(instance: SPMInstance) -> None:
+    limiters = {
+        "min-utilization (paper)": MinUtilizationLimiter(),
+        "min-utilization step=2": MinUtilizationLimiter(step=2),
+        "proportional 0.9": ProportionalLimiter(0.9),
+        "proportional 0.7": ProportionalLimiter(0.7),
+    }
+    rows = []
+    for name, limiter in limiters.items():
+        started = time.perf_counter()
+        outcome = Metis(theta=20, limiter=limiter, maa_rounds=3).solve(
+            instance, rng=SEED
+        )
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [name, outcome.num_rounds, outcome.best.profit, elapsed]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["tau rule", "rounds_run", "profit", "seconds"],
+            rows,
+            title="Bandwidth-limiter (tau) comparison at theta=20",
+        )
+    )
+
+
+def main() -> None:
+    instance = build_instance()
+    print(f"instance: {instance}\n")
+    sweep_theta(instance)
+    compare_limiters(instance)
+    print(
+        "\nReading: a handful of rounds captures most of the profit; "
+        "aggressive tau rules\nconverge in fewer rounds but can overshoot "
+        "past the profitable core."
+    )
+
+
+if __name__ == "__main__":
+    main()

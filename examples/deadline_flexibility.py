@@ -1,0 +1,66 @@
+"""How much is scheduling freedom worth?
+
+The paper's related work (NetStitcher, Postcard, Amoeba) saves money by
+*moving transfers in time*; the paper's own model fixes each window at bid
+time.  This example bridges the two: it solves SPM exactly while letting
+every request slide up to `slack` slots past its requested start, and
+plots profit against the slack budget.
+
+Run:  python examples/deadline_flexibility.py
+"""
+
+from repro.core import SPMInstance, flexibility_gain
+from repro.experiments.charts import line_chart
+from repro.experiments.common import ExperimentConfig, make_instance
+from repro.util.tables import format_table
+from repro.workload import FlatRateValueModel
+
+SEED = 2019
+SLACKS = (0, 1, 2, 3)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        topology="sub-b4",
+        request_counts=(60,),
+        seed=SEED,
+        value_model=FlatRateValueModel(0.8),
+        max_duration=3,
+    )
+    instance = make_instance(config, 60)
+    print(f"instance: {instance}\n")
+
+    curve = flexibility_gain(instance, SLACKS, time_limit=240)
+
+    print(
+        format_table(
+            ["slack (slots)", "optimal profit", "requests shifted"],
+            [[slack, profit, shifted] for slack, profit, shifted in curve],
+            title="Exact SPM profit vs per-request slack budget",
+        )
+    )
+    baseline = curve[0][1]
+    best = curve[-1][1]
+    if baseline > 0:
+        print(f"\nflexibility premium: +{(best / baseline - 1):.1%} profit "
+              f"at slack={SLACKS[-1]}")
+
+    print()
+    print(
+        line_chart(
+            [slack for slack, _, _ in curve],
+            {"profit": [profit for _, profit, _ in curve]},
+            width=40,
+            height=8,
+            title="profit vs slack",
+        )
+    )
+    print(
+        "\nReading: sliding windows off shared peaks removes whole "
+        "bandwidth units —\nthe same mechanism store-and-forward systems "
+        "monetize, now priced inside SPM."
+    )
+
+
+if __name__ == "__main__":
+    main()

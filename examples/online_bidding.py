@@ -1,0 +1,68 @@
+"""Online sealed-bid admission: deciding requests as they arrive.
+
+The paper's operational story — customers submit first-price sealed bids —
+also supports an online reading: each bid must be accepted or declined
+when its window starts, without knowledge of future bids.  This example
+runs the library's exact-incremental online scheduler against the offline
+optimum and the offline Metis, quantifying the price of not knowing the
+future.
+
+Run:  python examples/online_bidding.py
+"""
+
+from repro.baselines import solve_opt_spm
+from repro.core import Metis, OnlineScheduler, SPMInstance
+from repro.experiments.common import ExperimentConfig, make_instance
+from repro.util.tables import format_table
+from repro.workload import FlatRateValueModel
+
+SEED = 11
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        topology="sub-b4",
+        request_counts=(80,),
+        seed=SEED,
+        value_model=FlatRateValueModel(1.0),
+    )
+    instance = make_instance(config, 80)
+    print(f"instance: {instance}\n")
+
+    online = OnlineScheduler().run(instance)
+    offline_metis = Metis(theta=20, maa_rounds=3).solve(instance, rng=SEED)
+    offline_opt = solve_opt_spm(instance, time_limit=300)
+
+    rows = [
+        ["online (exact per batch)", online.profit, online.num_accepted],
+        [
+            "offline Metis",
+            offline_metis.best.profit,
+            offline_metis.best.num_accepted,
+        ],
+        ["offline OPT(SPM)", offline_opt.profit, offline_opt.schedule.num_accepted],
+    ]
+    print(
+        format_table(
+            ["scheduler", "profit", "accepted"],
+            rows,
+            title="The price of not knowing future bids",
+        )
+    )
+
+    print("\nper-slot decisions (slot, arrivals, accepted):")
+    for slot, batch, accepted in online.decisions_per_slot:
+        print(f"  slot {slot:2d}: {accepted:3d}/{batch:3d} accepted")
+
+    gap = online.profit / offline_opt.profit if offline_opt.profit else 1.0
+    print(
+        f"\nonline captures {gap:.0%} of the offline optimum on this draw — "
+        "the shortfall is\nbids declined because no single slot's batch "
+        "could amortize a fresh bandwidth\nunit that later arrivals would "
+        "have shared.  Thinner margins widen the gap\n(try "
+        "FlatRateValueModel(0.6)); fatter ones close it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Profit study: Metis against every baseline across request loads on B4.
+
+Reproduces the paper's headline comparison (Figs. 3a/5a condensed): for a
+sweep of request counts, run Metis, the accept-everything optimum proxy
+(MAA on all requests), MinCost and EcoFlow, and print who makes how much
+profit.
+
+Run:  python examples/profit_study_b4.py [K ...]
+"""
+
+import sys
+
+from repro.baselines import solve_ecoflow, solve_mincost
+from repro.core import Metis, SPMInstance
+from repro.experiments.common import ExperimentConfig, make_instance
+from repro.sim import evaluate_schedule
+from repro.util.tables import format_table
+
+DEFAULT_SWEEP = (100, 200, 400)
+
+
+def study(request_counts: tuple[int, ...]) -> None:
+    config = ExperimentConfig(topology="b4", request_counts=request_counts)
+    rows = []
+    for num_requests in request_counts:
+        instance = make_instance(config, num_requests)
+
+        outcome = Metis(theta=20, maa_rounds=3).solve(instance, rng=config.seed)
+        metis = (
+            evaluate_schedule("Metis", outcome.best.schedule)
+            if outcome.best.schedule is not None
+            else None
+        )
+        mincost = evaluate_schedule("MinCost", solve_mincost(instance))
+        ecoflow = evaluate_schedule("EcoFlow", solve_ecoflow(instance).schedule)
+
+        for metrics in filter(None, (metis, mincost, ecoflow)):
+            rows.append(
+                [
+                    num_requests,
+                    metrics.solution,
+                    metrics.profit,
+                    metrics.num_accepted,
+                    metrics.cost,
+                    metrics.utilization_mean,
+                ]
+            )
+
+    print(
+        format_table(
+            ["requests", "solution", "profit", "accepted", "cost", "util_mean"],
+            rows,
+            title="Service profit on B4 (seeded synthetic billing cycle)",
+        )
+    )
+    print(
+        "\nReading: MinCost accepts everything on the cheapest paths and "
+        "pays for it;\nEcoFlow only takes myopically profitable requests; "
+        "Metis alternates MAA/TAA\nto keep the profitable mass and shed the "
+        "money-losers."
+    )
+
+
+def main() -> None:
+    sweep = tuple(int(arg) for arg in sys.argv[1:]) or DEFAULT_SWEEP
+    study(sweep)
+
+
+if __name__ == "__main__":
+    main()

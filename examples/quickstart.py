@@ -1,0 +1,64 @@
+"""Quickstart: maximize service profit on Google's B4 WAN.
+
+Builds the B4 topology, draws a synthetic billing cycle of requests,
+runs the Metis framework, and prints the provider's decisions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import WorkloadConfig, b4, generate_workload
+from repro.core import Metis, SPMInstance
+from repro.sim import evaluate_schedule
+
+SEED = 7
+
+
+def main() -> None:
+    # 1. The network: 12 data centers, 19 bidirectional links, regional
+    #    bandwidth prices (1 unit = 10 Gbps).
+    topology = b4()
+    print(f"network: {topology}")
+
+    # 2. One billing cycle of customer requests (12 monthly slots, Poisson
+    #    arrivals, rates 0.1-5 Gbps, bids from the default value model).
+    workload = generate_workload(
+        topology, WorkloadConfig(num_requests=120, max_duration=4), rng=SEED
+    )
+    print(f"workload: {len(workload)} requests, total bids {workload.total_value:.1f}")
+
+    # 3. Pre-enumerate candidate paths and run the alternation.
+    instance = SPMInstance.build(topology, workload, k_paths=3)
+    outcome = Metis(theta=20, maa_rounds=3).solve(instance, rng=SEED)
+
+    best = outcome.best
+    if best.schedule is None:
+        print("no profitable schedule exists; the provider should decline all bids")
+        return
+
+    metrics = evaluate_schedule("Metis", best.schedule)
+    print(f"\nbest decision found by round {best.round_index} ({best.source}):")
+    print(f"  accepted  : {metrics.num_accepted}/{metrics.num_requests} requests")
+    print(f"  revenue   : {metrics.revenue:10.2f}")
+    print(f"  cost      : {metrics.cost:10.2f}  ({metrics.total_bandwidth_units} bandwidth units)")
+    print(f"  profit    : {metrics.profit:10.2f}")
+    print(f"  mean link utilization: {metrics.utilization_mean:.1%}")
+
+    print("\npurchased bandwidth per link (units of 10 Gbps):")
+    for (tail, head), units in sorted(best.capacities.items()):
+        if units:
+            print(f"  {tail:>5} -> {head:<5} {units:3d}")
+
+    declined = best.schedule.declined_ids
+    print(f"\ndeclined requests: {len(declined)}")
+    for request_id in declined[:5]:
+        req = instance.request(request_id)
+        print(
+            f"  #{request_id}: {req.source}->{req.dest} "
+            f"rate {req.rate:.2f} bid {req.value:.2f}"
+        )
+    if len(declined) > 5:
+        print(f"  ... and {len(declined) - 5} more")
+
+
+if __name__ == "__main__":
+    main()

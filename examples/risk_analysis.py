@@ -1,0 +1,89 @@
+"""Risk analysis on a committed schedule: price moves and link failures.
+
+Bandwidth leases run for a whole billing cycle, so a provider that commits
+to a schedule carries two risks the paper's model makes quantifiable:
+
+* ISP repricing — revenue is locked at bid time while cost scales with
+  the lease price (the break-even multiplier says how much headroom the
+  schedule has);
+* a link failing for the cycle — traffic must be rerouted onto surviving
+  candidate paths within (or beyond) the already-purchased bandwidth.
+
+Run:  python examples/risk_analysis.py
+"""
+
+from repro.core import Metis
+from repro.experiments.common import ExperimentConfig, make_instance
+from repro.sim import link_failure_impact, price_sensitivity
+from repro.util.tables import format_table
+
+SEED = 3
+
+
+def main() -> None:
+    config = ExperimentConfig(topology="b4", request_counts=(200,), seed=SEED)
+    instance = make_instance(config, 200)
+    outcome = Metis(theta=15, maa_rounds=3).solve(instance, rng=SEED)
+    schedule = outcome.best.schedule
+    assert schedule is not None
+    print(
+        f"committed schedule: profit {schedule.profit:.2f}, "
+        f"{schedule.num_accepted} accepted, cost {schedule.cost:.2f}\n"
+    )
+
+    # --- price risk -------------------------------------------------------
+    points, break_even = price_sensitivity(
+        schedule, multipliers=(0.75, 1.0, 1.25, 1.5, 2.0)
+    )
+    print(
+        format_table(
+            ["price multiplier", "cost", "profit"],
+            [[p.multiplier, p.cost, p.profit] for p in points],
+            title="ISP repricing sweep",
+        )
+    )
+    print(f"break-even multiplier: {break_even:.2f}x current prices\n")
+
+    # --- failure risk -----------------------------------------------------
+    # Fail each of the three most-purchased links in turn.
+    busiest = sorted(
+        (key for key, units in schedule.charged.items() if units > 0),
+        key=lambda key: -schedule.charged[key],
+    )[:3]
+    rows = []
+    for link in busiest:
+        strict = link_failure_impact(schedule, link)
+        flexible = link_failure_impact(schedule, link, allow_new_purchases=True)
+        rows.append(
+            [
+                f"{link[0]}->{link[1]}",
+                len(strict.affected_requests),
+                len(strict.dropped),
+                strict.new_profit,
+                flexible.new_profit,
+                flexible.extra_units_bought,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "failed link",
+                "affected",
+                "dropped",
+                "profit (no repurchase)",
+                "profit (repurchase)",
+                "extra units",
+            ],
+            rows,
+            title="Cycle-long single-link failures (busiest links)",
+        )
+    )
+    print(
+        "\nReading: rerouting within already-paid bandwidth saves most of "
+        "the revenue;\nallowing emergency purchases trades capex for the "
+        "remainder."
+    )
+
+
+if __name__ == "__main__":
+    main()

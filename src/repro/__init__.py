@@ -1,0 +1,37 @@
+"""repro — a reproduction of *Towards Maximal Service Profit in
+Geo-Distributed Clouds* (Yang et al., ICDCS 2019).
+
+The package implements the paper's Metis framework (alternating MAA/TAA
+approximation algorithms for service-profit maximization over inter-DC
+WANs) together with every substrate it needs: the WAN/topology model, the
+synthetic workload model, a declarative LP/MILP layer over scipy-HiGHS, the
+comparison baselines (MinCost, Amoeba, EcoFlow, exact OPT), and the
+experiment harness regenerating each evaluation figure.
+
+Quickstart::
+
+    from repro import b4, WorkloadConfig, generate_workload
+    from repro.core import SPMInstance, Metis
+
+    topo = b4()
+    requests = generate_workload(topo, WorkloadConfig(num_requests=100), rng=7)
+    instance = SPMInstance.build(topo, requests)
+    outcome = Metis().solve(instance, rng=7)
+    print(outcome.best.profit)
+"""
+
+from repro.net import Topology, b4, sub_b4
+from repro.workload import Request, RequestSet, WorkloadConfig, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Topology",
+    "b4",
+    "sub_b4",
+    "Request",
+    "RequestSet",
+    "WorkloadConfig",
+    "generate_workload",
+    "__version__",
+]

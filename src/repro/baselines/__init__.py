@@ -1,0 +1,24 @@
+"""The comparison solutions of the paper's evaluation (§V-A).
+
+* :func:`solve_mincost` — fixed-rule scheduling on cheapest paths;
+* :func:`solve_amoeba` — online admission under fixed bandwidth
+  (the deadline-guaranteeing scheduler of Zhang et al., EuroSys'15,
+  reduced to the admission role it plays in this paper's evaluation);
+* :func:`solve_ecoflow` — per-request greedy accept-if-profitable
+  (Lin et al., ACM MM'15, likewise reduced);
+* :func:`solve_opt_spm` / :func:`solve_opt_rl_spm` — the exact ILP optima,
+  the paper's OPT(SPM) and OPT(RL-SPM).
+"""
+
+from repro.baselines.mincost import solve_mincost
+from repro.baselines.amoeba import solve_amoeba
+from repro.baselines.ecoflow import solve_ecoflow
+from repro.baselines.opt import solve_opt_rl_spm, solve_opt_spm
+
+__all__ = [
+    "solve_mincost",
+    "solve_amoeba",
+    "solve_ecoflow",
+    "solve_opt_spm",
+    "solve_opt_rl_spm",
+]

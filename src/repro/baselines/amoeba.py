@@ -1,0 +1,86 @@
+"""Amoeba — online admission under fixed bandwidth (paper §V-A, solution 2).
+
+Amoeba (Zhang et al., EuroSys'15) guarantees deadlines for the transfers it
+admits: each arriving request is accepted iff the network can still
+accommodate it, and admission decisions are never revoked.  In this paper's
+evaluation it plays exactly that role — "an Inter-DC flow scheduler to
+satisfy as many user requests as possible under a fixed amount of
+bandwidth", processing requests "one by one to accept the ones that can be
+accommodated by the residual bandwidth without considering future
+requests".
+
+This implementation processes requests in arrival (id) order; for each, it
+scans the candidate paths cheapest-first and admits the request on the
+first path whose residual capacity covers the request's rate over its whole
+active window.  Requests that fit on no path are declined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.exceptions import AlgorithmError
+
+__all__ = ["solve_amoeba", "AmoebaResult"]
+
+EdgeKey = tuple
+
+_CAP_TOL = 1e-9
+
+
+@dataclass
+class AmoebaResult:
+    """Outcome of one Amoeba run under fixed ``capacities``."""
+
+    schedule: Schedule
+    capacities: dict[EdgeKey, int]
+
+    @property
+    def revenue(self) -> float:
+        return self.schedule.revenue
+
+    @property
+    def accepted_ids(self) -> list[int]:
+        return self.schedule.accepted_ids
+
+
+def solve_amoeba(
+    instance: SPMInstance, capacities: dict[EdgeKey, int]
+) -> AmoebaResult:
+    """Run the online first-fit admission over ``capacities``.
+
+    ``capacities`` must map every directed edge to a non-negative integer
+    bandwidth (the paper's Fig. 4 setup uses a uniform 10 units).
+    """
+    caps = np.empty(instance.num_edges)
+    for idx, key in enumerate(instance.edges):
+        cap = capacities.get(key)
+        if cap is None or cap < 0:
+            raise AlgorithmError(
+                f"Amoeba needs a finite non-negative capacity per edge; "
+                f"edge {key!r} has {cap!r}"
+            )
+        caps[idx] = float(cap)
+
+    residual = np.tile(caps[:, None], (1, instance.num_slots))
+    assignment: dict[int, int | None] = {}
+    for req in sorted(instance.requests, key=lambda r: r.request_id):
+        chosen = None
+        for path_idx in range(instance.num_paths(req.request_id)):
+            edge_idx = instance.path_edges[req.request_id][path_idx]
+            window = residual[edge_idx, req.start : req.end + 1]
+            if window.size == 0 or window.min() >= req.rate - _CAP_TOL:
+                chosen = path_idx
+                break
+        assignment[req.request_id] = chosen
+        if chosen is not None:
+            edge_idx = instance.path_edges[req.request_id][chosen]
+            residual[edge_idx, req.start : req.end + 1] -= req.rate
+
+    schedule = Schedule(instance, assignment)
+    schedule.check_capacities({k: int(v) for k, v in capacities.items()})
+    return AmoebaResult(schedule=schedule, capacities=dict(capacities))

@@ -1,0 +1,92 @@
+"""The exact optima: OPT(SPM) and OPT(RL-SPM) (paper §V-B.1).
+
+Both are the ILPs of §II solved to optimality — the paper uses Gurobi, we
+use HiGHS through :mod:`repro.lp` (cross-checked against the from-scratch
+branch-and-bound solver in the tests).  OPT(SPM) jointly optimizes
+acceptance, routing and purchased bandwidth; OPT(RL-SPM) is the "current
+service mode" yardstick that must accept *every* request and can only
+optimize routing and bandwidth.
+
+Exact solves are exponential in the worst case (SPM is NP-hard, Theorem 1):
+the paper reports >1000 s at 400 requests.  ``time_limit`` keeps benchmark
+sweeps bounded; hitting it raises rather than silently returning a
+suboptimal answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.formulations import (
+    assignment_from_solution,
+    build_rl_spm,
+    build_spm,
+)
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.exceptions import InfeasibleError, SolverError
+from repro.lp.result import SolveStatus
+
+__all__ = ["OptResult", "solve_opt_spm", "solve_opt_rl_spm"]
+
+
+@dataclass
+class OptResult:
+    """An exact optimum: the schedule and the solver's objective value."""
+
+    schedule: Schedule
+    objective: float
+
+    @property
+    def profit(self) -> float:
+        return self.schedule.profit
+
+
+def solve_opt_spm(
+    instance: SPMInstance, *, time_limit: float | None = None
+) -> OptResult:
+    """The exact SPM optimum: accept/route/purchase to maximize profit."""
+    problem = build_spm(instance, integral=True)
+    solution = problem.model.solve(time_limit=time_limit)
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError("SPM ILP is infeasible")
+    if not solution.is_optimal:
+        raise SolverError(
+            f"OPT(SPM) did not reach optimality (status {solution.status}); "
+            "raise time_limit or shrink the instance"
+        )
+    schedule = _schedule_from(problem, solution, instance)
+    return OptResult(schedule=schedule, objective=float(solution.objective))
+
+
+def solve_opt_rl_spm(
+    instance: SPMInstance, *, time_limit: float | None = None
+) -> OptResult:
+    """The exact RL-SPM optimum: accept everything, minimize cost.
+
+    The returned ``objective`` is the minimum cost; the schedule's profit is
+    ``total request value - objective``.
+    """
+    problem = build_rl_spm(instance, integral=True)
+    solution = problem.model.solve(time_limit=time_limit)
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError("RL-SPM ILP is infeasible")
+    if not solution.is_optimal:
+        raise SolverError(
+            f"OPT(RL-SPM) did not reach optimality (status {solution.status}); "
+            "raise time_limit or shrink the instance"
+        )
+    schedule = _schedule_from(problem, solution, instance)
+    return OptResult(schedule=schedule, objective=float(solution.objective))
+
+
+def _schedule_from(problem, solution, instance: SPMInstance) -> Schedule:
+    """Build a schedule from an integral solution.
+
+    The purchased bandwidth is recomputed as ``ceil(peak load)`` per edge
+    rather than read from the solver's ``c`` variables: at an optimum the
+    two coincide on every priced edge, and recomputing also trims the slack
+    HiGHS may leave in ``c`` on zero-price or zero-load edges.
+    """
+    assignment = assignment_from_solution(problem, solution)
+    return Schedule(instance, assignment)

@@ -1,0 +1,126 @@
+"""Instance-level approximation-ratio bounds (Theorems 2, 4 and 6).
+
+The paper's guarantees are stated in instance parameters (``alpha``, the
+minimum positive fractional bandwidth; ``|E|``; the Chernoff floor
+``I_B``).  This module evaluates them for a concrete instance/run so the
+test-suite — and a user — can check *empirically* that every observed
+ratio sits inside its proven bound:
+
+* :func:`ceiling_ratio_bound` — Theorem 2's ``(alpha+1)/alpha`` bound on
+  the ceiling stage of MAA;
+* :func:`maa_ratio_bound` — Theorem 4's combined
+  ``(alpha+1)/alpha * log|E|/log log|E|`` bound (the asymptotic constant
+  is taken as 1, so this is the bound's *shape*, exact enough for
+  monotonicity and dominance checks);
+* :func:`taa_certificate` — Theorem 6's revenue floor for a TAA run, with
+  the observed revenue for comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.maa import MAAResult
+from repro.core.taa import TAAResult
+
+__all__ = [
+    "ceiling_ratio_bound",
+    "maa_ratio_bound",
+    "BoundReport",
+    "maa_bound_report",
+    "taa_certificate",
+]
+
+
+def ceiling_ratio_bound(alpha: float) -> float:
+    """Theorem 2: the ceiling stage is within ``(alpha+1)/alpha`` of fractional.
+
+    ``alpha`` is the minimum positive fractional bandwidth ``min c_hat_e``;
+    ``alpha <= 0`` yields an unbounded (infinite) ratio, matching the
+    theorem's premise that some positive bandwidth exists.
+    """
+    if alpha <= 0:
+        return math.inf
+    return (alpha + 1.0) / alpha
+
+
+def maa_ratio_bound(alpha: float, num_edges: int) -> float:
+    """Theorem 4's bound shape: ``(alpha+1)/alpha * log|E| / log log|E|``.
+
+    For ``|E| <= e`` the ``log log`` term degenerates; the rounding factor
+    is floored at 1 (a sub-logarithmic edge count cannot *help* beyond the
+    fractional optimum).
+    """
+    if num_edges < 1:
+        raise ValueError(f"num_edges must be >= 1, got {num_edges}")
+    log_e = math.log(num_edges)
+    rounding_factor = 1.0
+    if log_e > 1.0:
+        rounding_factor = max(1.0, log_e / math.log(log_e))
+    return ceiling_ratio_bound(alpha) * rounding_factor
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """Observed ratio vs its proven bound for one MAA run."""
+
+    observed_ratio: float
+    ceiling_bound: float
+    combined_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        return self.observed_ratio <= self.combined_bound + 1e-9
+
+
+def maa_bound_report(result: MAAResult, num_edges: int) -> BoundReport:
+    """Check one MAA run against Theorems 2/4.
+
+    The observed ratio is rounded-cost over the LP optimum — a *stricter*
+    denominator than the theorems' (which compare against the integer
+    optimum), so ``within_bound`` is a conservative check.
+    """
+    if result.fractional_cost <= 0:
+        observed = 1.0
+    else:
+        observed = result.cost / result.fractional_cost
+    return BoundReport(
+        observed_ratio=observed,
+        ceiling_bound=ceiling_ratio_bound(result.alpha),
+        combined_bound=maa_ratio_bound(result.alpha, num_edges),
+    )
+
+
+@dataclass(frozen=True)
+class TAACertificate:
+    """Theorem 6's certificate for one TAA run."""
+
+    certified: bool
+    revenue_floor: float
+    observed_revenue: float
+    relaxation_revenue: float
+
+    @property
+    def floor_respected(self) -> bool:
+        """Revenue >= floor whenever the certificate applies."""
+        if not self.certified:
+            return True
+        return self.observed_revenue >= self.revenue_floor - 1e-9
+
+    @property
+    def gap_to_relaxation(self) -> float:
+        """Observed revenue as a fraction of the LP upper bound."""
+        if self.relaxation_revenue <= 0:
+            return 1.0
+        return self.observed_revenue / self.relaxation_revenue
+
+
+def taa_certificate(result: TAAResult) -> TAACertificate:
+    """Package a TAA run's Theorem 6 certificate for inspection."""
+    return TAACertificate(
+        certified=result.certified,
+        revenue_floor=result.revenue_floor,
+        observed_revenue=result.revenue,
+        relaxation_revenue=result.relaxation_revenue,
+    )

@@ -1,0 +1,170 @@
+"""Chernoff-Hoeffding machinery for TAA (paper §IV, Theorem 5).
+
+The paper's functions:
+
+* ``B(m, delta) = [e^delta / (1+delta)^(1+delta)]^m`` — the upper-tail bound
+  ``Pr[X > (1+delta) m] < B(m, delta)`` for a sum of independent [0,1]
+  variables with mean ``m`` (:func:`chernoff_upper_bound`);
+* the matching lower-tail bound
+  ``Pr[X < (1-gamma) m] < [e^-gamma / (1-gamma)^(1-gamma)]^m``
+  (:func:`chernoff_lower_bound`; the paper's printed formula repeats the
+  upper-tail expression — a typo, since that expression exceeds 1 for the
+  lower tail);
+* ``D(m, x)`` — the inverse of the tail bound in its deviation argument:
+  the deviation at which the bound equals ``x``
+  (:func:`invert_lower_bound` / :func:`invert_upper_bound`);
+* the scaling factor ``mu`` from inequality (6): the largest
+  ``mu in (0, 1)`` with ``B(mu*c, (1-mu)/mu) < 1 / (T (N+1))``
+  (:func:`select_mu`).
+
+All computations run in log space; bounds are exact monotone functions so
+the inversions use bisection.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AlgorithmError
+from repro.util.validation import check_in_range, check_nonnegative, check_positive
+
+__all__ = [
+    "log_chernoff_upper_bound",
+    "log_chernoff_lower_bound",
+    "chernoff_upper_bound",
+    "chernoff_lower_bound",
+    "invert_upper_bound",
+    "invert_lower_bound",
+    "select_mu",
+]
+
+_BISECT_ITERS = 200
+
+
+def log_chernoff_upper_bound(m: float, delta: float) -> float:
+    """``ln B(m, delta)`` for the upper tail: ``m (delta - (1+delta) ln(1+delta))``."""
+    check_nonnegative("m", m)
+    check_nonnegative("delta", delta)
+    if m == 0:
+        return 0.0
+    return m * (delta - (1.0 + delta) * math.log1p(delta))
+
+
+def chernoff_upper_bound(m: float, delta: float) -> float:
+    """The paper's ``B(m, delta)``: ``Pr[X > (1+delta) m]`` bound."""
+    return math.exp(log_chernoff_upper_bound(m, delta))
+
+
+def log_chernoff_lower_bound(m: float, gamma: float) -> float:
+    """Log of the lower-tail bound ``Pr[X < (1-gamma) m]``.
+
+    ``gamma = 1`` (deviation down to zero) gives the limit ``e^-m``.
+    """
+    check_nonnegative("m", m)
+    check_in_range("gamma", gamma, 0.0, 1.0)
+    if m == 0:
+        return 0.0
+    if gamma == 1.0:
+        return -m
+    return m * (-gamma - (1.0 - gamma) * math.log1p(-gamma))
+
+
+def chernoff_lower_bound(m: float, gamma: float) -> float:
+    """The lower-tail bound ``Pr[X < (1-gamma) m]``."""
+    return math.exp(log_chernoff_lower_bound(m, gamma))
+
+
+def invert_upper_bound(m: float, x: float) -> float:
+    """The paper's ``D(m, x)``: the delta with ``B(m, delta) = x``.
+
+    Requires ``0 < x < 1`` and ``m > 0``.  ``B`` is strictly decreasing in
+    ``delta``, so the root is unique; found by expanding an upper bracket
+    then bisecting.
+    """
+    check_positive("m", m)
+    check_in_range("x", x, 0.0, 1.0, inclusive=False)
+    target = math.log(x)
+    high = 1.0
+    while log_chernoff_upper_bound(m, high) > target:
+        high *= 2.0
+        if high > 1e12:
+            raise AlgorithmError(f"cannot bracket D({m}, {x})")
+    low = 0.0
+    for _ in range(_BISECT_ITERS):
+        mid = (low + high) / 2.0
+        if log_chernoff_upper_bound(m, mid) > target:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def invert_lower_bound(m: float, x: float) -> float:
+    """The gamma in ``(0, 1]`` where the lower-tail bound reaches ``x``.
+
+    The lower-tail bound decreases from 1 (at gamma=0) to ``e^-m`` (at
+    gamma=1).  When even ``e^-m > x`` (weak bound on small instances) the
+    requested certainty is unattainable and ``1.0`` is returned — callers
+    treat that as "no useful revenue floor" (``I_B = 0``).
+    """
+    check_positive("m", m)
+    check_in_range("x", x, 0.0, 1.0, inclusive=False)
+    target = math.log(x)
+    if -m > target:
+        return 1.0
+    low, high = 0.0, 1.0
+    for _ in range(_BISECT_ITERS):
+        mid = (low + high) / 2.0
+        if log_chernoff_lower_bound(m, mid) > target:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def select_mu(
+    min_capacity: float,
+    num_slots: int,
+    num_edges: int,
+    *,
+    safety: float = 0.999,
+) -> float:
+    """The scaling factor ``mu`` of inequality (6).
+
+    Finds the largest ``mu in (0, 1)`` with
+    ``B(mu c, (1-mu)/mu) < 1/(T (N+1))`` where ``c`` is the minimum positive
+    (normalized) edge capacity.  Substituting ``m = mu c`` and
+    ``delta = (1-mu)/mu`` gives ``ln B = c (1 - mu + ln mu)``, strictly
+    increasing in ``mu``, so the threshold is unique; the returned value is
+    ``safety`` times it to keep the inequality strict.
+
+    Raises :class:`AlgorithmError` when no ``mu`` in (0, 1) satisfies the
+    inequality (capacity too small relative to ``T (N+1)``); callers fall
+    back to a heuristic scaling in that case.
+    """
+    check_positive("min_capacity", min_capacity)
+    if num_slots < 1 or num_edges < 1:
+        raise ValueError("num_slots and num_edges must be >= 1")
+    check_in_range("safety", safety, 0.0, 1.0, inclusive=False)
+    target = -math.log(num_slots * (num_edges + 1))
+
+    def log_bound(mu: float) -> float:
+        return min_capacity * (1.0 - mu + math.log(mu))
+
+    # log_bound(mu) -> -inf as mu -> 0+, and -> 0 as mu -> 1-.
+    low = 1e-12
+    if log_bound(low) >= target:
+        raise AlgorithmError(
+            f"no mu in (0,1) satisfies inequality (6) for c={min_capacity}, "
+            f"T={num_slots}, N={num_edges}"
+        )
+    high = 1.0 - 1e-12
+    if log_bound(high) < target:
+        return high * safety
+    for _ in range(_BISECT_ITERS):
+        mid = (low + high) / 2.0
+        if log_bound(mid) < target:
+            low = mid
+        else:
+            high = mid
+    return low * safety

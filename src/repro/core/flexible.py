@@ -1,0 +1,207 @@
+"""Temporal flexibility: profit with slideable transfer windows (extension).
+
+The paper's requests are rigid — ``[ts_i, td_i]`` is fixed at bid time.
+Its related work (NetStitcher, Postcard, Amoeba) centers on the opposite
+observation: bulk transfers usually tolerate *when* they run as long as
+they finish by a deadline, and sliding them off each other's peaks is
+where inter-DC savings come from.  This module quantifies that knob inside
+the SPM model:
+
+* each request may start up to ``slack_i`` slots later than requested,
+  keeping its duration (deadline = ``td_i + slack_i``);
+* the provider jointly picks acceptance, path **and start offset**;
+* charging stays peak-based per link, so de-peaking directly removes
+  bandwidth units.
+
+:func:`solve_flexible_spm` solves the expanded problem exactly (binary
+``x[i, j, o]`` over path x offset options); :func:`flexibility_gain`
+reports profit as a function of a uniform slack budget — the "how much is
+scheduling freedom worth" curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.exceptions import InfeasibleError, SolverError, WorkloadError
+from repro.lp.expr import LinExpr
+from repro.lp.model import Model
+from repro.lp.result import SolveStatus
+
+__all__ = ["FlexibleResult", "solve_flexible_spm", "flexibility_gain"]
+
+
+@dataclass
+class FlexibleResult:
+    """Outcome of a flexible-window exact solve.
+
+    ``offsets`` maps accepted request ids to the chosen start delay (0 =
+    as requested); ``schedule`` reflects the *shifted* windows via a
+    rebuilt instance, so its loads/cost/profit account for the slide.
+    """
+
+    schedule: Schedule
+    offsets: dict[int, int]
+    objective: float
+
+    @property
+    def profit(self) -> float:
+        return self.schedule.profit
+
+    @property
+    def num_shifted(self) -> int:
+        return sum(1 for offset in self.offsets.values() if offset > 0)
+
+
+def solve_flexible_spm(
+    instance: SPMInstance,
+    slacks: dict[int, int] | int,
+    *,
+    time_limit: float | None = None,
+) -> FlexibleResult:
+    """Exactly solve SPM with slideable windows.
+
+    ``slacks`` is either a per-request map or one uniform slack (slots of
+    allowed delay).  Offsets pushing a window past the billing cycle are
+    not generated.  NP-hard like SPM — sized for the same instances the
+    exact OPT baselines handle.
+    """
+    if isinstance(slacks, int):
+        slacks = {req.request_id: slacks for req in instance.requests}
+    for req in instance.requests:
+        slack = slacks.get(req.request_id, 0)
+        if slack < 0:
+            raise WorkloadError(
+                f"request {req.request_id}: slack must be >= 0, got {slack}"
+            )
+
+    model = Model("flexible-spm")
+    x_vars: dict[tuple[int, int, int], object] = {}
+    options: dict[int, list[tuple[int, int]]] = {}
+    for req in instance.requests:
+        slack = slacks.get(req.request_id, 0)
+        max_offset = min(slack, instance.num_slots - 1 - req.end)
+        request_options = []
+        for offset in range(max_offset + 1):
+            for path_idx in range(instance.num_paths(req.request_id)):
+                var = model.add_binary(f"x_{req.request_id}_{path_idx}_{offset}")
+                x_vars[(req.request_id, path_idx, offset)] = var
+                request_options.append((path_idx, offset))
+        options[req.request_id] = request_options
+        model.add_constr(
+            sum(
+                x_vars[(req.request_id, path_idx, offset)]
+                for path_idx, offset in request_options
+            )
+            <= 1,
+            name=f"choice_{req.request_id}",
+        )
+
+    c_vars = {
+        edge_idx: model.add_var(f"c_{edge_idx}", 0.0, is_integer=True)
+        for edge_idx in range(instance.num_edges)
+    }
+
+    load_rows: dict[tuple[int, int], LinExpr] = {}
+    for req in instance.requests:
+        for path_idx, offset in options[req.request_id]:
+            var = x_vars[(req.request_id, path_idx, offset)]
+            for edge_idx in instance.path_edges[req.request_id][path_idx]:
+                for t in range(req.start + offset, req.end + offset + 1):
+                    key = (int(edge_idx), t)
+                    expr = load_rows.get(key)
+                    if expr is None:
+                        expr = LinExpr()
+                        load_rows[key] = expr
+                    expr.terms[var] = expr.terms.get(var, 0.0) + req.rate
+    for (edge_idx, t), load in load_rows.items():
+        model.add_constr(load <= c_vars[edge_idx], name=f"cap_{edge_idx}_{t}")
+
+    objective = LinExpr()
+    for req in instance.requests:
+        for path_idx, offset in options[req.request_id]:
+            var = x_vars[(req.request_id, path_idx, offset)]
+            objective.terms[var] = objective.terms.get(var, 0.0) + req.value
+    for edge_idx, var in c_vars.items():
+        objective.terms[var] = objective.terms.get(var, 0.0) - float(
+            instance.prices[edge_idx]
+        )
+    model.set_objective(objective, maximize=True)
+
+    solution = model.solve(time_limit=time_limit)
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError("flexible SPM ILP infeasible")
+    if not solution.is_optimal:
+        raise SolverError(
+            f"flexible SPM did not reach optimality: {solution.status}"
+        )
+
+    assignment: dict[int, int | None] = {}
+    offsets: dict[int, int] = {}
+    for req in instance.requests:
+        assignment[req.request_id] = None
+        for path_idx, offset in options[req.request_id]:
+            if solution.values[x_vars[(req.request_id, path_idx, offset)]] > 0.5:
+                assignment[req.request_id] = path_idx
+                offsets[req.request_id] = offset
+                break
+
+    shifted = _shifted_instance(instance, offsets)
+    schedule = Schedule(shifted, assignment)
+    return FlexibleResult(
+        schedule=schedule,
+        offsets=offsets,
+        objective=float(solution.objective),
+    )
+
+
+def _shifted_instance(
+    instance: SPMInstance, offsets: dict[int, int]
+) -> SPMInstance:
+    """The instance with accepted requests' windows slid by ``offsets``."""
+    from repro.workload.request import Request, RequestSet
+
+    shifted_requests = []
+    for req in instance.requests:
+        offset = offsets.get(req.request_id, 0)
+        if offset == 0:
+            shifted_requests.append(req)
+        else:
+            shifted_requests.append(
+                Request(
+                    request_id=req.request_id,
+                    source=req.source,
+                    dest=req.dest,
+                    start=req.start + offset,
+                    end=req.end + offset,
+                    rate=req.rate,
+                    value=req.value,
+                )
+            )
+    request_set = RequestSet(shifted_requests, instance.num_slots)
+    paths = {req.request_id: instance.paths[req.request_id] for req in request_set}
+    return SPMInstance(instance.topology, request_set, paths)
+
+
+def flexibility_gain(
+    instance: SPMInstance,
+    slack_levels: tuple[int, ...] = (0, 1, 2, 4),
+    *,
+    time_limit: float | None = None,
+) -> list[tuple[int, float, int]]:
+    """Profit as a function of a uniform slack budget.
+
+    Returns ``[(slack, profit, shifted_count), ...]``; profit is
+    non-decreasing in slack (more options can never hurt the exact
+    optimum), which the tests assert.
+    """
+    if any(s < 0 for s in slack_levels):
+        raise WorkloadError(f"slack levels must be >= 0: {slack_levels!r}")
+    curve = []
+    for slack in slack_levels:
+        result = solve_flexible_spm(instance, slack, time_limit=time_limit)
+        curve.append((slack, result.profit, result.num_shifted))
+    return curve

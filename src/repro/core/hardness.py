@@ -1,0 +1,116 @@
+"""The SUBSET-SUM -> SPM reduction behind Theorem 1 (paper §II-B).
+
+Given a SUBSET-SUM instance (integers ``a_1..a_n``, target ``N``), the
+reduction builds an SPM instance on a single link with one time slot:
+
+* request ``i`` demands rate ``r_i = a_i / N`` and bids ``v_i = r_i``;
+* the link's per-unit price is ``1 - sigma`` for a small ``sigma > 0``.
+
+With the paper's assumption ``N < M < 2N`` (``M`` the total sum), every
+request subset demands total rate in ``(0, 2)``, so the integer charged
+bandwidth is 1 or 2 units.  A subset summing exactly to ``N`` demands rate
+exactly 1 and yields profit ``1 - (1 - sigma) = sigma``; any other
+non-empty subset yields strictly less whenever
+``sigma < 2 - M/N`` — so the optimal SPM profit equals ``sigma`` **iff**
+the SUBSET-SUM instance is a yes-instance.
+
+(The paper words the price condition as "sigma ... infinitely close to 1";
+the algebra above — and the paper's own profit expression ``1 - sigma`` —
+require the *price* to be close to 1, i.e. ``sigma`` close to 0, with the
+explicit threshold ``2 - M/N``.  See DESIGN.md §5.)
+
+:func:`spm_from_subset_sum` materializes the reduction as a real
+:class:`~repro.core.instance.SPMInstance`; :func:`subset_from_solution`
+maps an optimal SPM schedule back to the certifying subset.  The tests
+solve small reductions exactly (via OPT(SPM)) and check both directions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.net.topology import Topology
+from repro.workload.request import Request, RequestSet
+
+__all__ = ["spm_from_subset_sum", "subset_from_solution", "reduction_sigma"]
+
+
+def reduction_sigma(values: Sequence[int], target: int) -> float:
+    """A valid ``sigma`` for the reduction: half the ``2 - M/N`` threshold."""
+    total = sum(values)
+    threshold = 2.0 - total / target
+    if threshold <= 0:
+        raise ValueError(
+            f"reduction requires sum(values) < 2 * target, got {total} >= {2 * target}"
+        )
+    return threshold / 2.0
+
+
+def spm_from_subset_sum(
+    values: Sequence[int],
+    target: int,
+    *,
+    sigma: float | None = None,
+) -> tuple[SPMInstance, float]:
+    """Build the SPM instance of the reduction.
+
+    ``values`` must be positive integers with ``target < sum(values) <
+    2 * target`` (the paper's WLOG normalization).  Returns
+    ``(instance, sigma)``; the SUBSET-SUM answer is *yes* iff the optimal
+    SPM profit equals ``sigma`` (it is strictly below otherwise).
+    """
+    if target < 1:
+        raise ValueError(f"target must be >= 1, got {target}")
+    if not values:
+        raise ValueError("values must be non-empty")
+    if any(not isinstance(v, int) or v < 1 for v in values):
+        raise ValueError(f"values must be positive integers, got {values!r}")
+    total = sum(values)
+    if not (target < total < 2 * target):
+        raise ValueError(
+            f"reduction requires target < sum(values) < 2*target; "
+            f"got sum={total}, target={target}"
+        )
+    if sigma is None:
+        sigma = reduction_sigma(values, target)
+    if not (0 < sigma < 2.0 - total / target):
+        raise ValueError(
+            f"sigma must be in (0, {2.0 - total / target}), got {sigma}"
+        )
+
+    price = 1.0 - sigma
+    topo = Topology("subset-sum-reduction")
+    topo.add_datacenter("S")
+    topo.add_datacenter("D")
+    topo.add_link("S", "D", price)
+
+    requests = RequestSet(
+        [
+            Request(
+                request_id=i,
+                source="S",
+                dest="D",
+                start=0,
+                end=0,
+                rate=value / target,
+                value=value / target,
+            )
+            for i, value in enumerate(values)
+        ],
+        num_slots=1,
+    )
+    return SPMInstance.build(topo, requests, k_paths=1), sigma
+
+
+def subset_from_solution(
+    instance: SPMInstance, schedule: Schedule, target: int
+) -> list[int]:
+    """The indices accepted by ``schedule``, i.e. the candidate subset.
+
+    The corresponding integers are ``[values[i] for i in result]``; when the
+    schedule is SPM-optimal with profit ``sigma``, they sum to ``target``.
+    """
+    del instance, target  # kept for call-site clarity; ids are positional
+    return sorted(schedule.accepted_ids)

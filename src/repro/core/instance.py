@@ -1,0 +1,150 @@
+"""A concrete SPM instance: topology, requests and candidate paths.
+
+:class:`SPMInstance` pins everything the formulations and algorithms consume:
+
+* the WAN topology with per-edge prices ``u_e``;
+* the request set (one billing cycle of ``T`` slots);
+* for every request ``i`` the pre-enumerated candidate path set
+  ``P_i = {P_{i,1}, ..., P_{i,L_i}}`` (k cheapest simple paths);
+* the edge index and the path-edge incidence ``I_{i,j,e}`` in array form.
+
+Path enumeration is cached per (source, dest) pair, so instances over the
+same topology share the enumeration work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+
+from repro.exceptions import ScheduleError
+from repro.net.paths import Path
+from repro.net.topology import Topology
+from repro.workload.request import Request, RequestSet
+
+__all__ = ["SPMInstance"]
+
+NodeId = Hashable
+EdgeKey = tuple[NodeId, NodeId]
+
+
+class SPMInstance:
+    """An instance of the service-profit-maximization problem."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        requests: RequestSet,
+        paths: dict[int, list[Path]],
+    ) -> None:
+        self.topology = topology
+        self.requests = requests
+        self.paths = paths
+        for req in requests:
+            if req.request_id not in paths or not paths[req.request_id]:
+                raise ScheduleError(
+                    f"request {req.request_id} has no candidate paths"
+                )
+
+        #: Directed edges in a fixed order; ``edge_index`` inverts it.
+        self.edges: list[EdgeKey] = [e.key for e in topology.edges]
+        self.edge_index: dict[EdgeKey, int] = {
+            key: idx for idx, key in enumerate(self.edges)
+        }
+        #: Per-unit prices aligned with ``edges``.
+        self.prices: np.ndarray = np.array(
+            [topology.price(*key) for key in self.edges]
+        )
+        #: For request ``i`` and path ``j``: the edge indices along the path.
+        self.path_edges: dict[int, list[np.ndarray]] = {
+            req_id: [
+                np.array([self.edge_index[ek] for ek in path.edges], dtype=int)
+                for path in path_list
+            ]
+            for req_id, path_list in paths.items()
+        }
+
+    # ----------------------------------------------------------- constructors
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        requests: RequestSet,
+        *,
+        k_paths: int = 3,
+    ) -> "SPMInstance":
+        """Enumerate up to ``k_paths`` cheapest simple paths per request."""
+        cache: dict[tuple[NodeId, NodeId], list[Path]] = {}
+        paths: dict[int, list[Path]] = {}
+        for req in requests:
+            key = (req.source, req.dest)
+            if key not in cache:
+                cache[key] = topology.candidate_paths(req.source, req.dest, k=k_paths)
+            paths[req.request_id] = cache[key]
+        return cls(topology, requests, paths)
+
+    def restrict(self, request_ids: Iterable[int]) -> "SPMInstance":
+        """The same instance over a subset of the requests."""
+        subset = self.requests.subset(request_ids)
+        kept_paths = {req.request_id: self.paths[req.request_id] for req in subset}
+        return SPMInstance(self.topology, subset, kept_paths)
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def num_edges(self) -> int:
+        """|E|: number of directed edges."""
+        return len(self.edges)
+
+    @property
+    def num_slots(self) -> int:
+        """T: billing-cycle length in slots."""
+        return self.requests.num_slots
+
+    def num_paths(self, request_id: int) -> int:
+        """L_i: candidate-path count of request ``request_id``."""
+        return len(self.paths[request_id])
+
+    def request(self, request_id: int) -> Request:
+        return self.requests[request_id]
+
+    def path(self, request_id: int, path_idx: int) -> Path:
+        try:
+            return self.paths[request_id][path_idx]
+        except (KeyError, IndexError):
+            raise ScheduleError(
+                f"no path #{path_idx} for request {request_id}"
+            ) from None
+
+    def uses_edge(self, request_id: int, path_idx: int, edge_idx: int) -> bool:
+        """The incidence indicator ``I_{i,j,e}``."""
+        return edge_idx in self.path_edges[request_id][path_idx]
+
+    # ---------------------------------------------------------------- loads
+
+    def loads(self, assignment: dict[int, int | None]) -> np.ndarray:
+        """Per-(edge, slot) bandwidth demanded by ``assignment``.
+
+        ``assignment`` maps request id -> chosen path index (or ``None`` for
+        declined).  Returns an array of shape ``(num_edges, num_slots)``.
+        """
+        loads = np.zeros((self.num_edges, self.num_slots))
+        for req_id, path_idx in assignment.items():
+            if path_idx is None:
+                continue
+            req = self.requests[req_id]
+            edge_idx = self.path_edges[req_id][path_idx]
+            loads[edge_idx, req.start : req.end + 1] += req.rate
+        return loads
+
+    def __repr__(self) -> str:
+        return (
+            f"SPMInstance(topology={self.topology.name!r}, "
+            f"K={self.num_requests}, T={self.num_slots}, |E|={self.num_edges})"
+        )

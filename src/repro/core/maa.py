@@ -1,0 +1,188 @@
+"""MAA — the Multistage Approximation Algorithm for RL-SPM (paper §III).
+
+Given a set of *accepted* requests, MAA minimizes the bandwidth cost in
+three stages (Algorithm 1):
+
+1. **Relaxation** — solve the LP relaxation of RL-SPM (``x in [0,1]``,
+   continuous ``c``), obtaining fractional path weights ``x_hat`` and
+   fractional bandwidth ``c_hat``.
+2. **Randomized rounding** — select exactly one path per request, path ``j``
+   with probability ``x_hat[i][j]`` (the relaxation satisfies
+   ``sum_j x_hat[i][j] = 1``).  This gives the
+   ``O(log|E| / log log|E|)``-approximation for the unsplittable-flow
+   subproblem P1 w.h.p. (Raghavan-Thompson).
+3. **Ceiling** — charge each edge the ceiling of its peak load,
+   ``c_e = ceil(max_t load_{e,t})``, the ``(alpha+1)/alpha``-relaxed step
+   for subproblem P2 (Theorem 2, with ``alpha = min positive c_hat``).
+
+Theorem 4 combines the two ratios multiplicatively (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.formulations import build_rl_spm, fractional_x
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.exceptions import InfeasibleError, SolverError
+from repro.lp.result import SolveStatus
+from repro.util.rng import ensure_rng
+
+__all__ = ["MAAResult", "solve_maa", "round_paths", "improve_paths"]
+
+#: Fractional bandwidth below this is treated as zero when computing alpha.
+_ALPHA_TOL = 1e-9
+
+
+@dataclass
+class MAAResult:
+    """Outcome of one MAA run.
+
+    ``fractional_cost`` is the LP-relaxation optimum (the lower bound both
+    approximation ratios are stated against); ``alpha`` is the minimum
+    positive fractional bandwidth, the parameter of Theorem 2.
+    """
+
+    schedule: Schedule
+    fractional_cost: float
+    fractional_weights: dict[int, list[float]]
+    alpha: float
+
+    @property
+    def cost(self) -> float:
+        """The rounded, integer-charged bandwidth cost."""
+        return self.schedule.cost
+
+    @property
+    def ceiling_ratio_bound(self) -> float:
+        """Theorem 2's ``(alpha+1)/alpha`` bound (inf when alpha is 0)."""
+        if self.alpha <= 0:
+            return float("inf")
+        return (self.alpha + 1.0) / self.alpha
+
+
+def round_paths(
+    instance: SPMInstance,
+    weights: dict[int, list[float]],
+    rng: int | np.random.Generator | None = None,
+) -> dict[int, int | None]:
+    """The randomized-rounding stage: one path per request, ~ ``weights``.
+
+    Weights per request are normalized before sampling; a request whose
+    weights sum to zero (possible only for degenerate inputs) falls back to
+    its cheapest path, preserving RL-SPM's "every request satisfied"
+    invariant.
+    """
+    gen = ensure_rng(rng)
+    assignment: dict[int, int | None] = {}
+    for req in instance.requests:
+        w = np.asarray(weights[req.request_id], dtype=float)
+        total = w.sum()
+        if total <= 0:
+            assignment[req.request_id] = 0
+            continue
+        assignment[req.request_id] = int(gen.choice(len(w), p=w / total))
+    return assignment
+
+
+def solve_maa(
+    instance: SPMInstance,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> MAAResult:
+    """Run Algorithm 1 (MAA) on ``instance``.
+
+    Raises :class:`~repro.exceptions.InfeasibleError` if the relaxation is
+    infeasible (cannot happen on strongly connected topologies with
+    unlimited purchasable bandwidth) and :class:`SolverError` on solver
+    failure.
+    """
+    problem = build_rl_spm(instance, integral=False)
+    solution = problem.model.solve()
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError("RL-SPM relaxation is infeasible")
+    if not solution.is_optimal:
+        raise SolverError(f"RL-SPM relaxation failed: {solution.status}")
+
+    weights = fractional_x(problem, solution)
+    c_hat = np.array(
+        [solution.values[problem.c_vars[idx]] for idx in range(instance.num_edges)]
+    )
+    positive = c_hat[c_hat > _ALPHA_TOL]
+    alpha = float(positive.min()) if positive.size else 0.0
+
+    assignment = round_paths(instance, weights, rng)
+    schedule = Schedule(instance, assignment)
+    return MAAResult(
+        schedule=schedule,
+        fractional_cost=float(solution.objective),
+        fractional_weights=weights,
+        alpha=alpha,
+    )
+
+
+def improve_paths(
+    instance: SPMInstance,
+    assignment: dict[int, int | None],
+    *,
+    max_passes: int = 5,
+) -> dict[int, int | None]:
+    """Greedy path-reassignment descent on the charged-bandwidth cost.
+
+    Not part of Algorithm 1 — a practical post-pass used inside Metis: for
+    each assigned request in turn, try each alternate candidate path and
+    keep the move iff the total integer-charged cost strictly decreases.
+    Loops until a fixpoint or ``max_passes`` full sweeps.  Returns a new
+    assignment; the input is not mutated.
+
+    Complexity is ``O(max_passes * K * L * h * T)`` where ``h`` bounds path
+    length — negligible next to the LP solve.
+    """
+    if max_passes < 1:
+        raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+    assignment = dict(assignment)
+    loads = instance.loads(assignment)
+    prices = instance.prices
+
+    def cost_of(edge_indices: np.ndarray) -> float:
+        peaks = loads[edge_indices].max(axis=1)
+        return float(
+            (prices[edge_indices] * np.ceil(peaks - 1e-9).clip(min=0)).sum()
+        )
+
+    for _ in range(max_passes):
+        changed = False
+        for req in instance.requests:
+            current = assignment[req.request_id]
+            if current is None or instance.num_paths(req.request_id) < 2:
+                continue
+            window = slice(req.start, req.end + 1)
+            cur_edges = instance.path_edges[req.request_id][current]
+            best_path = current
+            best_delta = -1e-12
+            for candidate in range(instance.num_paths(req.request_id)):
+                if candidate == current:
+                    continue
+                new_edges = instance.path_edges[req.request_id][candidate]
+                affected = np.unique(np.concatenate([cur_edges, new_edges]))
+                before = cost_of(affected)
+                loads[cur_edges, window] -= req.rate
+                loads[new_edges, window] += req.rate
+                delta = cost_of(affected) - before
+                loads[cur_edges, window] += req.rate
+                loads[new_edges, window] -= req.rate
+                if delta < best_delta:
+                    best_delta = delta
+                    best_path = candidate
+            if best_path != current:
+                new_edges = instance.path_edges[req.request_id][best_path]
+                loads[cur_edges, window] -= req.rate
+                loads[new_edges, window] += req.rate
+                assignment[req.request_id] = best_path
+                changed = True
+        if not changed:
+            break
+    return assignment

@@ -1,0 +1,358 @@
+"""TAA — the Tree-based Approximation Algorithm for BL-SPM (paper §IV).
+
+Given fixed integer link bandwidth, TAA maximizes service revenue by
+accepting and routing a subset of the requests (Algorithm 2):
+
+1. **Normalize** rates and values into ``[0, 1]`` (divide by their maxima)
+   so the Chernoff-Hoeffding bounds of Theorem 5 apply.
+2. **Relax** BL-SPM to its LP and solve for the fractional weights
+   ``x_hat`` with optimum revenue ``I_hat``.
+3. **Scale** the rounding probabilities by ``mu`` chosen per inequality (6)
+   so each capacity constraint is violated with probability below
+   ``1/(T (N+1))``; the expected revenue becomes ``I_S = mu * I_hat``, and
+   Theorem 6 guarantees a schedule with revenue at least
+   ``I_B = I_S (1 - D(I_S, 1/(N+1)))`` violating nothing.
+4. **Walk** the decision tree with the pessimistic estimator
+   (:mod:`repro.core.estimator`), fixing for each request the branch (a
+   path, or decline) minimizing the bad-leaf probability bound.
+
+On small instances the Chernoff bounds can be too weak for inequality (6)
+to admit any ``mu`` (or for the initial estimator to sit below 1).  The
+paper's asymptotic guarantee says nothing there; we keep the construction
+total by falling back to ``mu = fallback_mu`` and, after the walk, greedily
+declining lowest-value requests until every capacity holds
+(``TAAResult.num_repairs`` counts these; it is zero whenever the estimator
+started below 1, which the tests assert).
+
+Because the ``mu``-scaled rounding is deliberately conservative (expected
+load only ``mu c_e``), the walk's leaf usually leaves capacity unused.  A
+final **augmentation** pass re-admits declined requests greedily (highest
+bid first, first fitting path) while every capacity still holds.  This can
+only increase revenue above the certified floor, so Theorem 6's guarantee
+is preserved; disable with ``augment=False`` to run the bare Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chernoff import invert_lower_bound, select_mu
+from repro.core.estimator import EstimatorTerm, PessimisticEstimator
+from repro.core.formulations import build_bl_spm, fractional_x
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.exceptions import AlgorithmError, InfeasibleError, SolverError
+from repro.lp.result import SolveStatus
+
+__all__ = ["TAAResult", "solve_taa"]
+
+EdgeKey = tuple
+
+_CAP_TOL = 1e-9
+
+
+@dataclass
+class TAAResult:
+    """Outcome of one TAA run.
+
+    ``relaxation_revenue`` is ``I_hat`` (the BL-SPM LP optimum, an upper
+    bound on any feasible revenue); ``revenue_floor`` is ``I_B`` in original
+    value units (0 when the bounds were too weak to certify a floor);
+    ``estimator_initial`` is ``ln u_root`` before the walk.
+    """
+
+    schedule: Schedule
+    capacities: dict[EdgeKey, int]
+    relaxation_revenue: float
+    mu: float
+    revenue_floor: float
+    estimator_initial: float
+    estimator_final: float
+    num_repairs: int
+    num_augmented: int = 0
+
+    @property
+    def revenue(self) -> float:
+        return self.schedule.revenue
+
+    @property
+    def accepted_ids(self) -> list[int]:
+        return self.schedule.accepted_ids
+
+    @property
+    def certified(self) -> bool:
+        """Whether Theorem 6's premise held (initial estimator below 1)."""
+        return self.estimator_initial < 0.0
+
+
+def solve_taa(
+    instance: SPMInstance,
+    capacities: dict[EdgeKey, int],
+    *,
+    fallback_mu: float = 0.5,
+    augment: bool = True,
+) -> TAAResult:
+    """Run Algorithm 2 (TAA) on ``instance`` under ``capacities``.
+
+    ``capacities`` must give a finite integer bandwidth for every directed
+    edge of the instance.  TAA is deterministic: no RNG is involved.
+    """
+    for key in instance.edges:
+        cap = capacities.get(key)
+        if cap is None or cap < 0 or not isinstance(cap, (int, np.integer)):
+            raise AlgorithmError(
+                f"BL-SPM needs a finite non-negative integer capacity for every "
+                f"edge; edge {key!r} has {cap!r}"
+            )
+    if not (0 < fallback_mu < 1):
+        raise ValueError(f"fallback_mu must be in (0, 1), got {fallback_mu}")
+
+    if instance.num_requests == 0:
+        empty = Schedule(instance, {})
+        return TAAResult(empty, dict(capacities), 0.0, 1.0, 0.0, -math.inf, -math.inf, 0)
+
+    problem = build_bl_spm(instance, capacities, integral=False)
+    solution = problem.model.solve()
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError("BL-SPM relaxation is infeasible")
+    if not solution.is_optimal:
+        raise SolverError(f"BL-SPM relaxation failed: {solution.status}")
+    weights = fractional_x(problem, solution)
+    relaxation_revenue = float(solution.objective)
+
+    requests = instance.requests.requests
+    rate_max = max(req.rate for req in requests)
+    value_max = max(req.value for req in requests)
+    if value_max <= 0:
+        # All bids are zero: declining everything is optimal and feasible.
+        assignment = {req.request_id: None for req in requests}
+        schedule = Schedule(instance, assignment)
+        return TAAResult(
+            schedule, dict(capacities), relaxation_revenue, 1.0, 0.0, -math.inf, -math.inf, 0
+        )
+
+    num_edges = instance.num_edges
+    num_slots = instance.num_slots
+    positive_caps = [capacities[key] for key in instance.edges if capacities[key] > 0]
+    if positive_caps:
+        min_cap_norm = min(positive_caps) / rate_max
+        try:
+            mu = select_mu(min_cap_norm, num_slots, num_edges)
+        except AlgorithmError:
+            mu = fallback_mu
+    else:
+        mu = fallback_mu
+
+    # Revenue floor I_B and the tilt parameters (normalized units).
+    scaled_revenue = mu * relaxation_revenue / value_max  # I_S
+    one_over_n1 = 1.0 / (num_edges + 1)
+    if scaled_revenue > 0:
+        gamma = invert_lower_bound(scaled_revenue, one_over_n1)
+    else:
+        gamma = 1.0
+    revenue_floor_norm = scaled_revenue * (1.0 - gamma)
+    # Optimal lower-tail tilt exp(-t0 I); gamma=1 degenerates, use a unit tilt.
+    t0 = -math.log1p(-gamma) if gamma < 1.0 else 1.0
+    t_cap = math.log(1.0 / mu)
+
+    estimator = _build_estimator(
+        instance,
+        weights,
+        capacities,
+        mu=mu,
+        t0=t0,
+        t_cap=t_cap,
+        rate_max=rate_max,
+        value_max=value_max,
+        revenue_floor_norm=revenue_floor_norm,
+    )
+    initial = estimator.initial_log_value()
+    choices, final = estimator.walk()
+
+    assignment: dict[int, int | None] = {}
+    for req, branch in zip(requests, choices):
+        n_paths = instance.num_paths(req.request_id)
+        assignment[req.request_id] = branch if branch < n_paths else None
+
+    num_repairs = _repair_capacity_violations(instance, assignment, capacities)
+    num_augmented = (
+        _augment_with_declined(instance, assignment, capacities) if augment else 0
+    )
+
+    schedule = Schedule(instance, assignment)
+    schedule.check_capacities(dict(capacities))
+    return TAAResult(
+        schedule=schedule,
+        capacities=dict(capacities),
+        relaxation_revenue=relaxation_revenue,
+        mu=mu,
+        revenue_floor=revenue_floor_norm * value_max,
+        estimator_initial=initial,
+        estimator_final=final,
+        num_repairs=num_repairs,
+        num_augmented=num_augmented,
+    )
+
+
+def _build_estimator(
+    instance: SPMInstance,
+    weights: dict[int, list[float]],
+    capacities: dict[EdgeKey, int],
+    *,
+    mu: float,
+    t0: float,
+    t_cap: float,
+    rate_max: float,
+    value_max: float,
+    revenue_floor_norm: float,
+) -> PessimisticEstimator:
+    """Assemble the sum-of-products estimator for this instance."""
+    requests = instance.requests.requests
+    num_slots = instance.num_slots
+
+    # Capacity terms: only (edge, slot) pairs some candidate path can load.
+    term_of: dict[tuple[int, int], int] = {}
+    terms: list[EstimatorTerm] = [
+        EstimatorTerm(name="revenue", log_const=t0 * revenue_floor_norm)
+    ]
+    for req in requests:
+        for path_idx in range(instance.num_paths(req.request_id)):
+            for edge_idx in instance.path_edges[req.request_id][path_idx]:
+                for t in req.slots:
+                    key = (int(edge_idx), t)
+                    if key not in term_of:
+                        term_of[key] = len(terms)
+                        cap_norm = capacities[instance.edges[int(edge_idx)]] / rate_max
+                        terms.append(
+                            EstimatorTerm(
+                                name=f"cap_{edge_idx}_{t}",
+                                log_const=-t_cap * cap_norm,
+                            )
+                        )
+
+    num_terms = len(terms)
+    log_phi = np.zeros((len(requests), num_terms))
+    num_choices: list[int] = []
+    choice_deltas: list[list[list[tuple[int, float]]]] = []
+
+    for row, req in enumerate(requests):
+        n_paths = instance.num_paths(req.request_id)
+        num_choices.append(n_paths + 1)
+        p = np.clip(mu * np.asarray(weights[req.request_id], dtype=float), 0.0, 1.0)
+        total_p = min(1.0, float(p.sum()))
+        rate_norm = req.rate / rate_max
+        value_norm = req.value / value_max
+
+        # Revenue factor: accepted with prob total_p, contributing e^{-t0 v}.
+        log_phi[row, 0] = math.log(
+            max(1.0 + total_p * (math.exp(-t0 * value_norm) - 1.0), 0.0) or 1e-300
+        )
+
+        # Capacity factors: phi = 1 + sum_{paths crossing e} p_j (e^{tc r} - 1).
+        bump = math.exp(t_cap * rate_norm) - 1.0
+        per_term_mass: dict[int, float] = {}
+        deltas_per_branch: list[list[tuple[int, float]]] = []
+        for path_idx in range(n_paths):
+            branch_deltas: list[tuple[int, float]] = [(0, -t0 * value_norm)]
+            for edge_idx in instance.path_edges[req.request_id][path_idx]:
+                for t in req.slots:
+                    term_idx = term_of[(int(edge_idx), t)]
+                    per_term_mass[term_idx] = (
+                        per_term_mass.get(term_idx, 0.0) + float(p[path_idx])
+                    )
+                    branch_deltas.append((term_idx, t_cap * rate_norm))
+            deltas_per_branch.append(branch_deltas)
+        deltas_per_branch.append([])  # decline: every factor is 1
+        choice_deltas.append(deltas_per_branch)
+
+        for term_idx, mass in per_term_mass.items():
+            log_phi[row, term_idx] = math.log(1.0 + min(mass, 1.0) * bump)
+
+    return PessimisticEstimator(
+        num_requests=len(requests),
+        num_choices=num_choices,
+        terms=terms,
+        log_phi=log_phi,
+        choice_deltas=choice_deltas,
+    )
+
+
+def _repair_capacity_violations(
+    instance: SPMInstance,
+    assignment: dict[int, int | None],
+    capacities: dict[EdgeKey, int],
+) -> int:
+    """Decline lowest-value requests until every capacity constraint holds.
+
+    Mutates ``assignment`` in place; returns the number of declines.  This
+    is a no-op whenever the estimator certified a good leaf.
+    """
+    caps = np.array([float(capacities[key]) for key in instance.edges])
+    loads = instance.loads(assignment)
+    repairs = 0
+    while True:
+        excess = loads - caps[:, None]
+        edge_idx, slot = np.unravel_index(int(np.argmax(excess)), excess.shape)
+        if excess[edge_idx, slot] <= _CAP_TOL:
+            return repairs
+        # Requests routed across this (edge, slot), cheapest bid first.
+        offenders = []
+        for req in instance.requests:
+            path_idx = assignment[req.request_id]
+            if path_idx is None or not req.is_active(int(slot)):
+                continue
+            if int(edge_idx) in instance.path_edges[req.request_id][path_idx]:
+                offenders.append(req)
+        if not offenders:
+            raise AlgorithmError(
+                "capacity violation with no assigned request — inconsistent loads"
+            )
+        victim = min(offenders, key=lambda r: r.value)
+        path_idx = assignment[victim.request_id]
+        edge_indices = instance.path_edges[victim.request_id][path_idx]
+        loads[edge_indices, victim.start : victim.end + 1] -= victim.rate
+        assignment[victim.request_id] = None
+        repairs += 1
+
+
+def _augment_with_declined(
+    instance: SPMInstance,
+    assignment: dict[int, int | None],
+    capacities: dict[EdgeKey, int],
+) -> int:
+    """Re-admit declined requests that still fit, highest value density first.
+
+    Density is the bid per unit of network resource the request occupies
+    (``value / (rate * duration * shortest-path hops)``), the natural greedy
+    order for packing under capacity: it prefers many small valuable
+    requests over one large one of equal total bid.
+
+    Mutates ``assignment`` in place and returns the number of re-admitted
+    requests.  Each candidate is placed on its first (cheapest) path whose
+    residual capacity covers the full active window; feasibility is
+    preserved by construction.
+    """
+    caps = np.array([float(capacities[key]) for key in instance.edges])
+    residual = caps[:, None] - instance.loads(assignment)
+    declined = [
+        instance.request(rid) for rid, p in assignment.items() if p is None
+    ]
+
+    def density(req) -> float:
+        hops = len(instance.path_edges[req.request_id][0])
+        return req.value / (req.rate * req.duration * max(hops, 1))
+
+    admitted = 0
+    for req in sorted(declined, key=density, reverse=True):
+        for path_idx in range(instance.num_paths(req.request_id)):
+            edge_idx = instance.path_edges[req.request_id][path_idx]
+            window = residual[edge_idx, req.start : req.end + 1]
+            if window.min() >= req.rate - _CAP_TOL:
+                assignment[req.request_id] = path_idx
+                residual[edge_idx, req.start : req.end + 1] -= req.rate
+                admitted += 1
+                break
+    return admitted

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``TypeError``/``ValueError`` raised
+during argument validation) from domain failures (infeasible models, solver
+breakdowns, malformed topologies).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "NoPathError",
+    "TopologyError",
+    "WorkloadError",
+    "ModelError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "ScheduleError",
+    "CapacityViolationError",
+    "AlgorithmError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph operation (duplicate edge, bad endpoints, ...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+
+class NoPathError(GraphError):
+    """No path exists between the requested endpoints."""
+
+
+class TopologyError(ReproError):
+    """Topology-level inconsistency (missing price, bad capacity, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid request or workload-generation parameters."""
+
+
+class ModelError(ReproError):
+    """Invalid optimization-model construction."""
+
+
+class SolverError(ReproError):
+    """The underlying solver failed or returned an unusable status."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization problem admits no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The optimization problem is unbounded."""
+
+
+class ScheduleError(ReproError):
+    """A schedule references unknown requests/paths or is malformed."""
+
+
+class CapacityViolationError(ScheduleError):
+    """A schedule exceeds the purchased capacity of some link."""
+
+
+class AlgorithmError(ReproError):
+    """An approximation algorithm could not complete (e.g. no valid mu)."""

@@ -1,0 +1,40 @@
+"""The experiment harness: one module per paper figure.
+
+Each ``run_*`` function regenerates the data series behind one figure panel
+of the paper's evaluation (§V) and returns an
+:class:`~repro.experiments.common.ExperimentResult` whose rows are the
+points the paper plots.  ``python -m repro`` exposes them on the command
+line.
+"""
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, make_instance
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4cd
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.multi_seed import aggregate_over_seeds
+from repro.experiments.ablations import (
+    run_k_paths_ablation,
+    run_limiter_ablation,
+    run_seasonality_ablation,
+    run_seed_stability,
+    run_theta_ablation,
+    run_value_model_ablation,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "make_instance",
+    "run_fig3",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4cd",
+    "run_fig5",
+    "run_theta_ablation",
+    "run_limiter_ablation",
+    "run_value_model_ablation",
+    "run_k_paths_ablation",
+    "run_seed_stability",
+    "run_seasonality_ablation",
+    "aggregate_over_seeds",
+]

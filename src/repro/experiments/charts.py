@@ -1,0 +1,115 @@
+"""Terminal charts for experiment results.
+
+The paper's figures are line charts over the request-count sweep; this
+module renders the same series as Unicode terminal plots so ``metis-repro``
+output can be *read* as a figure, not just as rows:
+
+* :func:`sparkline` — one series in one line (block characters);
+* :func:`line_chart` — multi-series scatter/line chart on a character
+  grid with y-axis labels and a legend.
+
+Pure string manipulation, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["sparkline", "line_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render ``values`` as a one-line block-character sparkline."""
+    if not values:
+        return ""
+    if any(v != v for v in values):  # NaN check without numpy
+        raise ValueError("sparkline values must not contain NaN")
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _BLOCKS[3] * len(values)
+    span = high - low
+    return "".join(
+        _BLOCKS[min(int((v - low) / span * len(_BLOCKS)), len(_BLOCKS) - 1)]
+        for v in values
+    )
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render multiple series against shared ``x`` values as a text chart.
+
+    Each series gets a distinct marker; a legend and min/max y labels are
+    attached.  Series must match ``x`` in length; NaN points are skipped.
+    """
+    if not x:
+        raise ValueError("x must be non-empty")
+    if not series:
+        raise ValueError("series must be non-empty")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x)} x values"
+            )
+    points = [
+        value
+        for ys in series.values()
+        for value in ys
+        if value == value  # skip NaN
+    ]
+    if not points:
+        raise ValueError("no finite points to plot")
+    y_low, y_high = min(points), max(points)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(x), max(x)
+    x_span = (x_high - x_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for xi, yi in zip(x, ys):
+            if yi != yi:
+                continue
+            col = int((xi - x_low) / x_span * (width - 1))
+            row = int((yi - y_low) / (y_high - y_low) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_high:.4g}"), len(f"{y_low:.4g}"))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{y_high:.4g}".rjust(label_width)
+        elif row_idx == height - 1:
+            label = f"{y_low:.4g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(
+        " " * label_width
+        + " +"
+        + "-" * width
+    )
+    lines.append(
+        " " * label_width
+        + f"  {x_low:g}"
+        + " " * max(1, width - len(f"{x_low:g}") - len(f"{x_high:g}"))
+        + f"{x_high:g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Command-line entry point: ``python -m repro`` / ``metis-repro``.
+
+Subcommands regenerate the paper's figures::
+
+    metis-repro fig3 --requests 50 100 150 --seed 7
+    metis-repro fig4a
+    metis-repro fig4b --roundings 200
+    metis-repro fig4cd
+    metis-repro fig5
+    metis-repro all --output results.md
+
+Figure data is printed as aligned tables; ``--output`` additionally writes
+a Markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.ablations import (
+    run_k_paths_ablation,
+    run_limiter_ablation,
+    run_seasonality_ablation,
+    run_seed_stability,
+    run_theta_ablation,
+    run_value_model_ablation,
+)
+from repro.experiments import fig3, fig4, fig5
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4cd
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.report import render_results, write_markdown_report
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = ("fig3", "fig4a", "fig4b", "fig4cd", "fig5")
+_ABLATIONS = (
+    "ablation-theta",
+    "ablation-limiter",
+    "ablation-value-model",
+    "ablation-k-paths",
+    "ablation-seeds",
+    "ablation-seasonality",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="metis-repro",
+        description=(
+            "Reproduce the evaluation of 'Towards Maximal Service Profit in "
+            "Geo-Distributed Clouds' (ICDCS 2019)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS + _ABLATIONS + ("all", "ablations"),
+        help="which figure or ablation to regenerate",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="K",
+        help="request-count sweep (default depends on the experiment)",
+    )
+    parser.add_argument("--seed", type=int, default=2019, help="master seed")
+    parser.add_argument(
+        "--theta", type=int, default=30, help="Metis alternation rounds"
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=600.0,
+        help="seconds per exact MILP solve",
+    )
+    parser.add_argument(
+        "--roundings",
+        type=int,
+        default=1000,
+        help="rounding repetitions for fig4b",
+    )
+    parser.add_argument(
+        "--no-opt",
+        action="store_true",
+        help="fig3: skip the exact OPT solves",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write a Markdown report here",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render terminal line charts under each sweep table",
+    )
+    return parser
+
+
+def _overrides(args: argparse.Namespace) -> dict:
+    """The config fields the user set on the command line.
+
+    Only these are overridden — each experiment keeps its figure-specific
+    regime (topology, value model, request windows) unless explicitly
+    swept.
+    """
+    fields = {
+        "seed": args.seed,
+        "theta": args.theta,
+        "time_limit": args.time_limit,
+    }
+    if args.requests:
+        fields["request_counts"] = tuple(args.requests)
+    return fields
+
+
+def _run(args: argparse.Namespace) -> list[ExperimentResult]:
+    over = _overrides(args)
+    fig4b_config = ExperimentConfig(
+        **{"request_counts": (50, 100), **over}
+    )
+    runners = {
+        "fig3": lambda: run_fig3(
+            fig3.default_config(**over), include_opt=not args.no_opt
+        ),
+        "fig4a": lambda: run_fig4a(fig4.default_config_fig4a(**over)),
+        "fig4b": lambda: run_fig4b(fig4b_config, num_roundings=args.roundings),
+        "fig4cd": lambda: run_fig4cd(fig4.default_config_fig4cd(**over)),
+        "fig5": lambda: run_fig5(fig5.default_config(**over)),
+        "ablation-theta": lambda: run_theta_ablation(),
+        "ablation-limiter": lambda: run_limiter_ablation(),
+        "ablation-value-model": lambda: run_value_model_ablation(),
+        "ablation-k-paths": lambda: run_k_paths_ablation(),
+        "ablation-seeds": lambda: run_seed_stability(),
+        "ablation-seasonality": lambda: run_seasonality_ablation(),
+    }
+    if args.experiment == "all":
+        return [runners[name]() for name in _EXPERIMENTS]
+    if args.experiment == "ablations":
+        return [runners[name]() for name in _ABLATIONS]
+    return [runners[args.experiment]()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    results = _run(args)
+    print(render_results(results, charts=args.chart))
+    if args.output:
+        write_markdown_report(
+            results,
+            args.output,
+            title="Metis reproduction — experiment run",
+        )
+        print(f"\nreport written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Shared experiment plumbing: configuration, instance building, results.
+
+Every experiment draws its workload from the paper's synthetic model
+(§V-A) over one of the two evaluation topologies, then runs a set of
+solutions and collects :class:`~repro.sim.metrics.SolutionMetrics` rows.
+The defaults reproduce the paper's setup: 12 monthly slots, rates uniform
+in 0.1–5 Gbps (0.01–0.5 units of 10 Gbps), Poisson arrivals, random DC
+pairs, Cloudflare-derived link prices.
+
+Request values use the flat-rate model by default: customers pay a
+geography-blind retail price per reserved Gbps-month, exactly the mismatch
+against region-dependent wholesale transit prices that makes *declining*
+requests profitable (the phenomenon Figs. 3 and 5 quantify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.instance import SPMInstance
+from repro.net.topologies import b4, sub_b4
+from repro.net.topology import Topology
+from repro.util.tables import format_table
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.value_models import FlatRateValueModel, ValueModel
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "make_topology", "make_instance"]
+
+#: Flat retail price per bandwidth unit per slot used by the default value
+#: model.  1.8 sits between the cheapest links (price 1 -> profitable) and
+#: the expensive inter-continental ones (3.75-6.5 -> unprofitable), giving
+#: the mixed-profitability request population the paper's evaluation needs.
+DEFAULT_UNIT_VALUE = 1.8
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters shared by the figure experiments.
+
+    ``request_counts`` is the sweep of K values (the x-axis of most
+    figures); ``seed`` pins workload generation and every randomized
+    algorithm; ``time_limit`` bounds each exact MILP solve.
+    """
+
+    topology: str = "b4"
+    request_counts: tuple[int, ...] = (50, 100, 150, 200)
+    seed: int = 2019
+    num_slots: int = 12
+    max_duration: int | None = 4
+    k_paths: int = 3
+    value_model: ValueModel = field(
+        default_factory=lambda: FlatRateValueModel(DEFAULT_UNIT_VALUE)
+    )
+    theta: int = 30
+    maa_rounds: int = 5
+    time_limit: float | None = 600.0
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("b4", "sub-b4"):
+            raise ValueError(
+                f"topology must be 'b4' or 'sub-b4', got {self.topology!r}"
+            )
+        if not self.request_counts or any(k < 1 for k in self.request_counts):
+            raise ValueError(f"bad request_counts: {self.request_counts!r}")
+
+
+def make_topology(name: str) -> Topology:
+    """Build one of the two evaluation topologies by name."""
+    if name == "b4":
+        return b4()
+    if name == "sub-b4":
+        return sub_b4()
+    raise ValueError(f"unknown topology {name!r}")
+
+
+def make_instance(config: ExperimentConfig, num_requests: int) -> SPMInstance:
+    """One seeded SPM instance of ``num_requests`` under ``config``.
+
+    The workload seed mixes in ``num_requests`` so different sweep points
+    draw independent workloads while the whole sweep stays reproducible.
+    """
+    topology = make_topology(config.topology)
+    workload = generate_workload(
+        topology,
+        WorkloadConfig(
+            num_requests=num_requests,
+            num_slots=config.num_slots,
+            max_duration=config.max_duration,
+            value_model=config.value_model,
+        ),
+        rng=config.seed * 100_003 + num_requests,
+    )
+    return SPMInstance.build(topology, workload, k_paths=config.k_paths)
+
+
+@dataclass
+class ExperimentResult:
+    """A named table of experiment rows, renderable for reports."""
+
+    experiment: str
+    description: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: list[str] = field(default_factory=list)
+
+    def to_table(self, *, float_fmt: str = ".3f") -> str:
+        title = f"{self.experiment}: {self.description}"
+        table = format_table(self.headers, self.rows, float_fmt=float_fmt, title=title)
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return table
+
+    def column(self, header: str) -> list[Any]:
+        """All values of one column, by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> list[list[Any]]:
+        """Rows whose named columns equal the given values."""
+        indices = {self.headers.index(k): v for k, v in criteria.items()}
+        return [
+            row
+            for row in self.rows
+            if all(row[i] == v for i, v in indices.items())
+        ]

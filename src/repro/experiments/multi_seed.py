@@ -1,0 +1,140 @@
+"""Multi-seed aggregation of experiment results.
+
+A single workload draw can flatter or sandbag any scheduler; the paper's
+curves are (presumably) averaged, and reviewers ask for error bars.  This
+module re-runs any figure experiment across several master seeds and
+aggregates every numeric column into mean and sample standard deviation,
+keyed by the non-numeric columns (sweep point, solution name, ...).
+
+Example::
+
+    from repro.experiments import fig5, run_fig5
+    from repro.experiments.multi_seed import aggregate_over_seeds
+
+    result = aggregate_over_seeds(
+        run_fig5, fig5.default_config, seeds=(1, 2, 3),
+        request_counts=(100, 200),
+    )
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+__all__ = ["aggregate_over_seeds"]
+
+
+def aggregate_over_seeds(
+    runner: Callable[[ExperimentConfig], ExperimentResult],
+    config_factory: Callable[..., ExperimentConfig],
+    *,
+    seeds: Sequence[int],
+    key_headers: Sequence[str] | None = None,
+    **config_overrides: Any,
+) -> ExperimentResult:
+    """Run ``runner`` once per seed and aggregate numeric columns.
+
+    ``config_factory`` is an experiment's ``default_config`` (or any
+    callable accepting the same overrides plus ``seed``).  Rows across runs
+    are matched on the *key* columns — by default every non-numeric column
+    plus ``requests`` (the sweep axis) when present; pass ``key_headers``
+    to override.  Every other numeric column ``c`` becomes ``c_mean`` and
+    ``c_std``.  Rows missing from some run (e.g. a timed-out exact solve)
+    aggregate over the runs that have them, with the run count reported in
+    ``n_runs``.
+    """
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    results = [
+        runner(config_factory(seed=seed, **config_overrides)) for seed in seeds
+    ]
+
+    headers = results[0].headers
+    for result in results[1:]:
+        if result.headers != headers:
+            raise ValueError(
+                f"runs disagree on headers: {headers} vs {result.headers}"
+            )
+
+    numeric_cols = _numeric_columns(results, headers)
+    if key_headers is None:
+        key_cols = [i for i in range(len(headers)) if i not in numeric_cols]
+        if "requests" in headers:
+            sweep_col = headers.index("requests")
+            if sweep_col not in key_cols:
+                key_cols.insert(0, sweep_col)
+                key_cols.sort()
+                numeric_cols = [i for i in numeric_cols if i != sweep_col]
+    else:
+        unknown = [h for h in key_headers if h not in headers]
+        if unknown:
+            raise ValueError(f"unknown key headers: {unknown}")
+        key_cols = sorted(headers.index(h) for h in key_headers)
+        numeric_cols = [i for i in numeric_cols if i not in key_cols]
+
+    groups: dict[tuple, dict[int, list[float]]] = {}
+    order: list[tuple] = []
+    for result in results:
+        for row in result.rows:
+            key = tuple(row[i] for i in key_cols)
+            if key not in groups:
+                groups[key] = {i: [] for i in numeric_cols}
+                order.append(key)
+            for i in numeric_cols:
+                value = row[i]
+                if isinstance(value, (int, float)) and not math.isnan(value):
+                    groups[key][i].append(float(value))
+
+    out_headers = [headers[i] for i in key_cols]
+    for i in numeric_cols:
+        out_headers.extend([f"{headers[i]}_mean", f"{headers[i]}_std"])
+    out_headers.append("n_runs")
+
+    rows = []
+    for key in order:
+        row: list[Any] = list(key)
+        observed = 0
+        for i in numeric_cols:
+            values = groups[key][i]
+            observed = max(observed, len(values))
+            row.extend(_mean_std(values))
+        row.append(observed)
+        rows.append(row)
+
+    base = results[0]
+    return ExperimentResult(
+        experiment=f"{base.experiment}-x{len(seeds)}seeds",
+        description=f"{base.description} (mean/std over seeds {tuple(seeds)})",
+        headers=out_headers,
+        rows=rows,
+        notes=[note for result in results for note in result.notes],
+    )
+
+
+def _numeric_columns(
+    results: list[ExperimentResult], headers: list[str]
+) -> list[int]:
+    """Columns whose every present value is an int/float (bools excluded)."""
+    numeric = []
+    for i in range(len(headers)):
+        values = [row[i] for result in results for row in result.rows]
+        if values and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in values
+        ):
+            numeric.append(i)
+    return numeric
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    if not values:
+        return float("nan"), float("nan")
+    mean = sum(values) / len(values)
+    if len(values) < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return mean, math.sqrt(variance)

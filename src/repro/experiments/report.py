@@ -1,0 +1,114 @@
+"""Report rendering for experiment results.
+
+Renders :class:`~repro.experiments.common.ExperimentResult` tables to the
+terminal and assembles the ``EXPERIMENTS.md`` record (paper claim vs
+measured value per figure panel).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.experiments.charts import line_chart
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["render_results", "chart_for_result", "write_markdown_report"]
+
+
+def render_results(
+    results: Sequence[ExperimentResult], *, charts: bool = False
+) -> str:
+    """All result tables (optionally with terminal charts) as one string."""
+    blocks = []
+    for result in results:
+        blocks.append(result.to_table())
+        if charts:
+            chart = chart_for_result(result)
+            if chart:
+                blocks.append(chart)
+    return "\n\n".join(blocks)
+
+
+def chart_for_result(result: ExperimentResult) -> str | None:
+    """A terminal line chart of a sweep result, or ``None`` if not chartable.
+
+    Handles both layouts the experiments produce:
+
+    * *long* format (``requests, solution, profit, ...``): the ``profit``
+      column is pivoted into one series per solution;
+    * *wide* format (``requests, <a>_profit, <b>_profit, ...``): every
+      ``*_profit``/``*_revenue``/``*_cost`` column becomes a series.
+    """
+    if "requests" not in result.headers:
+        return None
+    x_all = result.column("requests")
+
+    if "solution" in result.headers and "profit" in result.headers:
+        solutions = list(dict.fromkeys(result.column("solution")))
+        x = sorted(set(x_all))
+        series = {}
+        for solution in solutions:
+            by_k = {
+                row[result.headers.index("requests")]: row[
+                    result.headers.index("profit")
+                ]
+                for row in result.filtered(solution=solution)
+            }
+            series[solution] = [by_k.get(k, float("nan")) for k in x]
+    else:
+        metric_headers = [
+            h
+            for h in result.headers
+            if h.endswith(("_profit", "_revenue", "_cost"))
+        ]
+        if not metric_headers:
+            return None
+        x = x_all
+        series = {h: result.column(h) for h in metric_headers}
+
+    finite = [
+        v for ys in series.values() for v in ys if not math.isnan(v)
+    ]
+    if len(x) < 2 or not finite:
+        return None
+    return line_chart(x, series, title=f"{result.experiment} (chart)")
+
+
+def _markdown_table(result: ExperimentResult, float_fmt: str = ".3f") -> str:
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return format(value, float_fmt)
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(result.headers) + " |",
+        "|" + "|".join("---" for _ in result.headers) + "|",
+    ]
+    lines.extend(
+        "| " + " | ".join(cell(v) for v in row) + " |" for row in result.rows
+    )
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    results: Sequence[ExperimentResult],
+    path: str | Path,
+    *,
+    title: str = "Experiment results",
+    preamble: str = "",
+) -> None:
+    """Write the results as a Markdown document at ``path``."""
+    sections = [f"# {title}", ""]
+    if preamble:
+        sections.extend([preamble, ""])
+    for result in results:
+        sections.append(f"## {result.experiment} — {result.description}")
+        sections.append("")
+        sections.append(_markdown_table(result))
+        if result.notes:
+            sections.append("")
+            sections.extend(f"> note: {note}" for note in result.notes)
+        sections.append("")
+    Path(path).write_text("\n".join(sections), encoding="utf-8")

@@ -1,0 +1,32 @@
+"""Declarative LP/MILP modeling layer compiled to scipy's HiGHS solvers.
+
+The paper calls Gurobi for its LP relaxations and the exact OPT baselines;
+this package provides the modeling surface those algorithms need:
+
+* :class:`Variable` / :class:`LinExpr` — symbolic affine expressions;
+* :class:`Constraint` — ``expr <= / == / >= rhs``;
+* :class:`Model` — collects variables/constraints, compiles to sparse
+  matrices, and dispatches to ``scipy.optimize.linprog`` (pure LPs) or
+  ``scipy.optimize.milp`` (with integer variables);
+* :func:`branch_and_bound` — an independent from-scratch MILP solver built
+  on the LP relaxation, used to cross-check HiGHS in the test-suite.
+"""
+
+from repro.lp.expr import LinExpr, Variable
+from repro.lp.constraint import Constraint
+from repro.lp.model import Model
+from repro.lp.result import Solution, SolveStatus
+from repro.lp.branch_and_bound import branch_and_bound
+from repro.lp.simplex import simplex_solve, simplex_solve_model
+
+__all__ = [
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "Model",
+    "Solution",
+    "SolveStatus",
+    "branch_and_bound",
+    "simplex_solve",
+    "simplex_solve_model",
+]

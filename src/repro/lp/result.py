@@ -1,0 +1,47 @@
+"""Solver results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.lp.expr import LinExpr, Variable
+
+__all__ = ["SolveStatus", "Solution"]
+
+
+class SolveStatus(Enum):
+    """Normalized solver outcome."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """An optimization result.
+
+    ``objective`` is in the model's original sense (maximization objectives
+    are reported as maximization values).  ``values`` maps every model
+    variable to its solution value; integer variables from the MILP path are
+    rounded to exact ints.
+    """
+
+    status: SolveStatus
+    objective: float
+    values: dict[Variable, float] = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def __getitem__(self, var: Variable) -> float:
+        return self.values[var]
+
+    def value_of(self, expr: LinExpr | Variable) -> float:
+        """Evaluate an expression (or variable) under this solution."""
+        if isinstance(expr, Variable):
+            return self.values[expr]
+        return expr.value(self.values)

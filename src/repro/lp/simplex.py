@@ -1,0 +1,232 @@
+"""A from-scratch dense two-phase simplex LP solver.
+
+Third, fully independent backend for the LP layer (after scipy-HiGHS and
+the branch-and-bound/relaxation pair): a textbook tableau simplex with
+Bland's anti-cycling rule.  It exists for *verification* — the test-suite
+cross-checks HiGHS against it on randomly generated LPs and on the paper's
+relaxations — not for performance; it is dense and O(rows x cols) per
+pivot.
+
+Scope (enough for every relaxation in this library):
+
+* variables with lower bound 0 (finite upper bounds become rows);
+* ``<=``, ``>=`` and ``==`` rows;
+* minimization or maximization.
+
+Unsupported variable lower bounds (< 0 or > 0) raise
+:class:`~repro.exceptions.SolverError` rather than silently mis-solving.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.lp.model import CompiledModel, Model
+from repro.lp.result import Solution, SolveStatus
+
+__all__ = ["simplex_solve", "simplex_solve_model"]
+
+_EPS = 1e-9
+#: Entering threshold: a column must price out this negative to pivot in.
+#: Bland's rule only guarantees termination in exact arithmetic — with a
+#: threshold at float-noise level (1e-9), accumulated round-off can make a
+#: reduced cost flicker around zero and the walk stall on degenerate
+#: vertices.  1e-7 is far above tableau noise for the well-scaled LPs this
+#: backend sees, and far below any meaningful reduced cost.
+_ENTER_EPS = 1e-7
+_MAX_PIVOTS = 50_000
+
+
+def simplex_solve_model(model: Model) -> Solution:
+    """Solve ``model``'s LP relaxation with the from-scratch simplex."""
+    return simplex_solve(model.compile(relax_integrality=True))
+
+
+def simplex_solve(compiled: CompiledModel) -> Solution:
+    """Solve a compiled model (integrality ignored — LP relaxation)."""
+    c, a_rows, b = _to_standard_form(compiled)
+    status, x, objective = _two_phase_simplex(c, a_rows, b)
+    if status is not SolveStatus.OPTIMAL:
+        return Solution(status=status, objective=float("nan"))
+    values = {
+        var: float(x[var.index]) for var in compiled.variables
+    }
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=compiled.sign * objective + compiled.objective_constant,
+        values=values,
+    )
+
+
+def _to_standard_form(compiled: CompiledModel):
+    """Convert to ``min c'x  s.t.  rows (<=, >=, ==),  x >= 0``.
+
+    Returns ``(c, rows, b)`` where ``rows`` is a list of
+    ``(coefficients, sense)`` with sense in {-1: <=, 0: ==, +1: >=}.
+    """
+    n = len(compiled.variables)
+    for var in compiled.variables:
+        if var.lower != 0.0:
+            raise SolverError(
+                f"simplex backend requires lower bound 0, variable "
+                f"{var.name!r} has {var.lower}"
+            )
+    dense = compiled.a_matrix.toarray()
+    rows: list[np.ndarray] = []
+    senses: list[int] = []
+    b: list[float] = []
+    for i in range(dense.shape[0]):
+        lower, upper = compiled.row_lower[i], compiled.row_upper[i]
+        if lower == upper:
+            rows.append(dense[i])
+            senses.append(0)
+            b.append(float(upper))
+            continue
+        if math.isfinite(upper):
+            rows.append(dense[i])
+            senses.append(-1)
+            b.append(float(upper))
+        if math.isfinite(lower):
+            rows.append(dense[i])
+            senses.append(1)
+            b.append(float(lower))
+    for var in compiled.variables:
+        if math.isfinite(var.upper):
+            row = np.zeros(n)
+            row[var.index] = 1.0
+            rows.append(row)
+            senses.append(-1)
+            b.append(float(var.upper))
+    return (
+        compiled.c.astype(float),
+        list(zip(rows, senses)),
+        np.array(b, dtype=float),
+    )
+
+
+def _two_phase_simplex(c, a_rows, b):
+    """Textbook two-phase tableau simplex with Bland's rule."""
+    n = len(c)
+    m = len(a_rows)
+    if m == 0:
+        # Unconstrained over x >= 0: finite iff c >= 0.
+        if np.any(c < -_EPS):
+            return SolveStatus.UNBOUNDED, None, math.nan
+        return SolveStatus.OPTIMAL, np.zeros(n), 0.0
+
+    # Normalize to b >= 0 by flipping rows.
+    rows = []
+    senses = []
+    rhs = []
+    for (row, sense), bi in zip(a_rows, b):
+        if bi < 0:
+            rows.append(-row)
+            senses.append(-sense)
+            rhs.append(-bi)
+        else:
+            rows.append(row.copy())
+            senses.append(sense)
+            rhs.append(bi)
+
+    # Columns: original n | slacks/surplus | artificials.
+    slack_count = sum(1 for s in senses if s != 0)
+    artificial_needed = [s != -1 for s in senses]  # >= and == rows
+    art_count = sum(artificial_needed)
+    total = n + slack_count + art_count
+
+    tableau = np.zeros((m, total))
+    basis = np.empty(m, dtype=int)
+    slack_idx = n
+    art_idx = n + slack_count
+    for i, (row, sense) in enumerate(zip(rows, senses)):
+        tableau[i, :n] = row
+        if sense == -1:
+            tableau[i, slack_idx] = 1.0
+            basis[i] = slack_idx
+            slack_idx += 1
+        elif sense == 1:
+            tableau[i, slack_idx] = -1.0
+            slack_idx += 1
+        if sense != -1:
+            tableau[i, art_idx] = 1.0
+            basis[i] = art_idx
+            art_idx += 1
+    rhs = np.array(rhs, dtype=float)
+
+    # Phase 1: minimize the sum of artificials.
+    if art_count:
+        phase1_c = np.zeros(total)
+        phase1_c[n + slack_count :] = 1.0
+        status = _optimize(tableau, rhs, basis, phase1_c)
+        if status is not SolveStatus.OPTIMAL:
+            raise SolverError("phase-1 simplex failed to terminate")
+        phase1_value = phase1_c[basis] @ rhs
+        if phase1_value > 1e-7:
+            return SolveStatus.INFEASIBLE, None, math.nan
+        # Pivot any artificial still in the basis out (or drop its row).
+        for i in range(m):
+            if basis[i] >= n + slack_count:
+                pivot_col = next(
+                    (
+                        j
+                        for j in range(n + slack_count)
+                        if abs(tableau[i, j]) > _EPS
+                    ),
+                    None,
+                )
+                if pivot_col is not None:
+                    _pivot(tableau, rhs, basis, i, pivot_col)
+        # Freeze artificial columns at zero.
+        tableau[:, n + slack_count :] = 0.0
+
+    # Phase 2: original objective (zero cost on slack/artificials).
+    phase2_c = np.zeros(total)
+    phase2_c[:n] = c
+    status = _optimize(tableau, rhs, basis, phase2_c)
+    if status is not SolveStatus.OPTIMAL:
+        return status, None, math.nan
+
+    x = np.zeros(total)
+    x[basis] = rhs
+    return SolveStatus.OPTIMAL, x[:n], float(c @ x[:n])
+
+
+def _optimize(tableau, rhs, basis, costs):
+    """Primal simplex iterations on the tableau; Bland's rule throughout."""
+    m, total = tableau.shape
+    for _ in range(_MAX_PIVOTS):
+        # Reduced costs: c_j - c_B' B^-1 A_j; tableau rows are already
+        # B^-1 A, so reduced = costs - costs[basis] @ tableau.
+        reduced = costs - costs[basis] @ tableau
+        entering = next(
+            (j for j in range(total) if reduced[j] < -_ENTER_EPS), None
+        )
+        if entering is None:
+            return SolveStatus.OPTIMAL
+        column = tableau[:, entering]
+        candidates = [
+            (rhs[i] / column[i], basis[i], i)
+            for i in range(m)
+            if column[i] > _EPS
+        ]
+        if not candidates:
+            return SolveStatus.UNBOUNDED
+        # Bland: min ratio, ties by smallest basis variable index.
+        _, _, leaving_row = min(candidates, key=lambda t: (t[0], t[1]))
+        _pivot(tableau, rhs, basis, leaving_row, entering)
+    raise SolverError(f"simplex exceeded {_MAX_PIVOTS} pivots")
+
+
+def _pivot(tableau, rhs, basis, row, col) -> None:
+    pivot_value = tableau[row, col]
+    tableau[row] /= pivot_value
+    rhs[row] /= pivot_value
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > _EPS:
+            factor = tableau[i, col]
+            tableau[i] -= factor * tableau[row]
+            rhs[i] -= factor * rhs[row]
+    basis[row] = col

@@ -1,0 +1,132 @@
+"""HiGHS solver backends for compiled models.
+
+Pure LPs dispatch to ``scipy.optimize.linprog(method="highs")``; models with
+integral variables go through ``scipy.optimize.milp``.  Both paths normalize
+scipy's status codes into :class:`~repro.lp.result.SolveStatus` and convert
+the objective back to the model's original sense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.exceptions import SolverError
+from repro.lp.model import CompiledModel
+from repro.lp.result import Solution, SolveStatus
+
+__all__ = ["solve_compiled"]
+
+# scipy linprog status codes -> normalized status
+_LINPROG_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,  # iteration limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+# scipy milp status codes -> normalized status
+_MILP_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,  # iteration/time limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_compiled(
+    compiled: CompiledModel, *, time_limit: float | None = None
+) -> Solution:
+    """Solve a :class:`~repro.lp.model.CompiledModel` with HiGHS.
+
+    ``time_limit`` (seconds) only applies to the MILP path; LPs at this
+    library's scale solve in milliseconds.
+    """
+    if np.any(compiled.integrality):
+        return _solve_milp(compiled, time_limit=time_limit)
+    return _solve_linprog(compiled)
+
+
+def _extract_values(compiled: CompiledModel, x: np.ndarray) -> dict:
+    values = {}
+    for var, val in zip(compiled.variables, x):
+        val = float(val)
+        if compiled.integrality[var.index]:
+            val = float(round(val))
+        values[var] = val
+    return values
+
+
+def _solve_linprog(compiled: CompiledModel) -> Solution:
+    finite_eq = compiled.row_lower == compiled.row_upper
+    a_matrix = compiled.a_matrix
+
+    constraints_ub = []
+    rows_ub = ~finite_eq & np.isfinite(compiled.row_upper)
+    rows_lb = ~finite_eq & np.isfinite(compiled.row_lower)
+
+    a_ub_parts, b_ub_parts = [], []
+    if rows_ub.any():
+        a_ub_parts.append(a_matrix[rows_ub])
+        b_ub_parts.append(compiled.row_upper[rows_ub])
+    if rows_lb.any():
+        a_ub_parts.append(-a_matrix[rows_lb])
+        b_ub_parts.append(-compiled.row_lower[rows_lb])
+
+    a_ub = sparse.vstack(a_ub_parts).tocsr() if a_ub_parts else None
+    b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
+    a_eq = a_matrix[finite_eq] if finite_eq.any() else None
+    b_eq = compiled.row_upper[finite_eq] if finite_eq.any() else None
+
+    bounds = [
+        (lo if np.isfinite(lo) else None, hi if np.isfinite(hi) else None)
+        for lo, hi in zip(compiled.var_lower, compiled.var_upper)
+    ]
+    result = optimize.linprog(
+        compiled.c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
+    if status is not SolveStatus.OPTIMAL:
+        return Solution(status=status, objective=float("nan"))
+    if result.x is None:
+        raise SolverError("linprog reported optimal but returned no solution")
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=compiled.sign * float(result.fun) + compiled.objective_constant,
+        values=_extract_values(compiled, result.x),
+    )
+
+
+def _solve_milp(
+    compiled: CompiledModel, *, time_limit: float | None = None
+) -> Solution:
+    constraints = optimize.LinearConstraint(
+        compiled.a_matrix, compiled.row_lower, compiled.row_upper
+    )
+    bounds = optimize.Bounds(compiled.var_lower, compiled.var_upper)
+    options = {} if time_limit is None else {"time_limit": float(time_limit)}
+    result = optimize.milp(
+        compiled.c,
+        constraints=constraints,
+        bounds=bounds,
+        integrality=compiled.integrality,
+        options=options,
+    )
+    status = _MILP_STATUS.get(result.status, SolveStatus.ERROR)
+    if status is not SolveStatus.OPTIMAL:
+        return Solution(status=status, objective=float("nan"))
+    if result.x is None:
+        raise SolverError("milp reported optimal but returned no solution")
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=compiled.sign * float(result.fun) + compiled.objective_constant,
+        values=_extract_values(compiled, result.x),
+    )

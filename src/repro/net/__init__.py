@@ -1,0 +1,50 @@
+"""Inter-datacenter WAN substrate.
+
+Provides a from-scratch directed graph (:class:`DiGraph`), shortest-path and
+k-shortest-path routines, the :class:`Topology` model that couples a graph
+with per-link prices and capacities, regional pricing tables, and builders
+for the evaluation topologies (B4, SUB-B4, synthetic WANs).
+"""
+
+from repro.net.graph import DiGraph, Edge
+from repro.net.paths import Path, dijkstra, k_shortest_paths, shortest_path
+from repro.net.pricing import REGION_PRICES, link_price, region_price
+from repro.net.topology import Topology
+from repro.net.topologies import (
+    abilene,
+    b4,
+    line_topology,
+    random_wan,
+    star_topology,
+    sub_b4,
+)
+from repro.net.serialization import topology_from_dict, topology_to_dict
+from repro.net.analysis import (
+    cheapest_path_betweenness,
+    path_diversity,
+    topology_summary,
+)
+
+__all__ = [
+    "DiGraph",
+    "Edge",
+    "Path",
+    "dijkstra",
+    "shortest_path",
+    "k_shortest_paths",
+    "Topology",
+    "REGION_PRICES",
+    "region_price",
+    "link_price",
+    "abilene",
+    "b4",
+    "sub_b4",
+    "line_topology",
+    "star_topology",
+    "random_wan",
+    "topology_from_dict",
+    "topology_to_dict",
+    "cheapest_path_betweenness",
+    "path_diversity",
+    "topology_summary",
+]

@@ -1,0 +1,201 @@
+"""Shortest-path routines: Dijkstra and Yen's k-shortest simple paths.
+
+The SPM formulation pre-enumerates, for every request, a small set ``P_i``
+of candidate simple paths between its source and destination data centers
+("there are several routing paths between two data centers", paper §I).
+Following the paper's MinCost baseline and the pricing model, path cost is
+the sum of per-unit bandwidth prices along the path, so "shortest" here
+means *cheapest*.
+
+Both algorithms are implemented from scratch on :class:`~repro.net.graph.DiGraph`;
+the test-suite cross-checks them against :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import NoPathError
+from repro.net.graph import DiGraph
+
+__all__ = ["Path", "dijkstra", "shortest_path", "k_shortest_paths"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Path:
+    """A simple directed path, stored as its node sequence.
+
+    ``cost`` is the sum of edge weights along the path.  Paths compare equal
+    iff their node sequences are equal; cost is derived data.
+    """
+
+    nodes: tuple[NodeId, ...]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ValueError("a path needs at least two nodes")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"path revisits a node: {self.nodes!r}")
+
+    @property
+    def source(self) -> NodeId:
+        return self.nodes[0]
+
+    @property
+    def target(self) -> NodeId:
+        return self.nodes[-1]
+
+    @property
+    def edges(self) -> tuple[tuple[NodeId, NodeId], ...]:
+        """The ``(tail, head)`` pairs along the path."""
+        return tuple(zip(self.nodes[:-1], self.nodes[1:]))
+
+    def __len__(self) -> int:
+        """Number of edges (hops)."""
+        return len(self.nodes) - 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.nodes == other.nodes
+
+    def __hash__(self) -> int:
+        return hash(self.nodes)
+
+
+def path_from_nodes(graph: DiGraph, nodes: Sequence[NodeId]) -> Path:
+    """Build a :class:`Path` over ``graph``, computing its cost.
+
+    Raises :class:`~repro.exceptions.EdgeNotFoundError` if any hop is missing.
+    """
+    cost = sum(graph.edge(t, h).weight for t, h in zip(nodes[:-1], nodes[1:]))
+    return Path(tuple(nodes), cost)
+
+
+def dijkstra(
+    graph: DiGraph, source: NodeId
+) -> tuple[dict[NodeId, float], dict[NodeId, NodeId]]:
+    """Single-source shortest distances and predecessor map from ``source``.
+
+    Returns ``(dist, prev)`` where ``dist[v]`` is the cheapest cost from
+    ``source`` to ``v`` (missing if unreachable) and ``prev[v]`` is ``v``'s
+    predecessor on one cheapest path.
+    """
+    graph._require_node(source)
+    dist: dict[NodeId, float] = {source: 0.0}
+    prev: dict[NodeId, NodeId] = {}
+    visited: set[NodeId] = set()
+    counter = 0  # tie-breaker so heapq never compares node ids
+    heap: list[tuple[float, int, NodeId]] = [(0.0, counter, source)]
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for edge in graph.successors(node):
+            nd = d + edge.weight
+            if nd < dist.get(edge.head, float("inf")):
+                dist[edge.head] = nd
+                prev[edge.head] = node
+                counter += 1
+                heapq.heappush(heap, (nd, counter, edge.head))
+    return dist, prev
+
+
+def shortest_path(graph: DiGraph, source: NodeId, target: NodeId) -> Path:
+    """The cheapest simple path from ``source`` to ``target``.
+
+    Raises :class:`~repro.exceptions.NoPathError` if ``target`` is unreachable.
+    """
+    graph._require_node(target)
+    dist, prev = dijkstra(graph, source)
+    if target not in dist:
+        raise NoPathError(f"no path {source!r} -> {target!r}")
+    nodes = [target]
+    while nodes[-1] != source:
+        nodes.append(prev[nodes[-1]])
+    nodes.reverse()
+    return Path(tuple(nodes), dist[target])
+
+
+def k_shortest_paths(
+    graph: DiGraph, source: NodeId, target: NodeId, k: int
+) -> list[Path]:
+    """Yen's algorithm: up to ``k`` cheapest *simple* paths, ascending cost.
+
+    Returns fewer than ``k`` paths when the graph does not contain that many
+    simple paths.  Raises :class:`NoPathError` when no path exists at all.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    best = shortest_path(graph, source, target)
+    found: list[Path] = [best]
+    # Candidate heap keyed by (cost, nodes) — nodes tuple also deduplicates.
+    candidates: list[tuple[float, tuple[NodeId, ...]]] = []
+    seen_candidates: set[tuple[NodeId, ...]] = {best.nodes}
+
+    while len(found) < k:
+        prev_path = found[-1]
+        for spur_idx in range(len(prev_path.nodes) - 1):
+            spur_node = prev_path.nodes[spur_idx]
+            root_nodes = prev_path.nodes[: spur_idx + 1]
+
+            # Remove edges that would recreate an already-found path sharing
+            # this root, and the root's interior nodes.
+            removed_edges: set[tuple[NodeId, NodeId]] = set()
+            for path in found:
+                if path.nodes[: spur_idx + 1] == root_nodes and len(path.nodes) > spur_idx + 1:
+                    removed_edges.add((path.nodes[spur_idx], path.nodes[spur_idx + 1]))
+            banned_nodes = set(root_nodes[:-1])
+
+            trimmed = _trimmed_graph(graph, banned_nodes, removed_edges)
+            if not trimmed.has_node(spur_node) or not trimmed.has_node(target):
+                continue
+            try:
+                spur_path = shortest_path(trimmed, spur_node, target)
+            except NoPathError:
+                continue
+
+            total_nodes = root_nodes[:-1] + spur_path.nodes
+            if total_nodes in seen_candidates:
+                continue
+            seen_candidates.add(total_nodes)
+            root_cost = sum(
+                graph.edge(t, h).weight
+                for t, h in zip(root_nodes[:-1], root_nodes[1:])
+            )
+            heapq.heappush(
+                candidates,
+                (root_cost + spur_path.cost, tuple(total_nodes)),
+            )
+
+        if not candidates:
+            break
+        cost, nodes = heapq.heappop(candidates)
+        found.append(Path(nodes, cost))
+
+    return found
+
+
+def _trimmed_graph(
+    graph: DiGraph,
+    banned_nodes: set[NodeId],
+    removed_edges: set[tuple[NodeId, NodeId]],
+) -> DiGraph:
+    """Copy of ``graph`` without ``banned_nodes`` and ``removed_edges``."""
+    g = DiGraph()
+    for node in graph.nodes:
+        if node not in banned_nodes:
+            g.add_node(node)
+    for edge in graph.edges:
+        if edge.tail in banned_nodes or edge.head in banned_nodes:
+            continue
+        if (edge.tail, edge.head) in removed_edges:
+            continue
+        g.add_edge(edge.tail, edge.head, edge.weight)
+    return g

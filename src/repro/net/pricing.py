@@ -1,0 +1,54 @@
+"""Regional bandwidth pricing.
+
+The paper sets link prices "based on the relative bandwidth prices provided
+by Cloudflare" (§V-A, citing the *Bandwidth costs around the world* blog
+post).  That post reports transit prices relative to a European/North
+American baseline; we encode those relative magnitudes here and derive a
+per-link price as the mean of the endpoint regions' prices, so
+intra-continental links in cheap regions cost ~1 unit while links touching
+expensive regions (Oceania, South America, Asia) cost proportionally more.
+
+Prices are *relative*: only ratios matter to the algorithms, matching the
+paper's setup where absolute dollar figures are never used.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGION_PRICES", "region_price", "link_price"]
+
+#: Relative price of one unit (10 Gbps) of bandwidth per billing cycle, by
+#: region, normalized to Europe = 1.  Values follow the relative magnitudes
+#: in Cloudflare's "Bandwidth costs around the world" post: Europe and North
+#: America are the baseline, Asia ~6.5x, Latin America and Oceania ~17x.
+REGION_PRICES: dict[str, float] = {
+    "europe": 1.0,
+    "north_america": 1.0,
+    "asia": 6.5,
+    "latin_america": 17.0,
+    "oceania": 17.0,
+    "africa": 14.0,
+    "middle_east": 14.0,
+}
+
+
+def region_price(region: str) -> float:
+    """The relative bandwidth price of ``region``.
+
+    Region names are case-insensitive; raises ``KeyError`` with the list of
+    known regions when unknown.
+    """
+    key = region.strip().lower()
+    if key not in REGION_PRICES:
+        known = ", ".join(sorted(REGION_PRICES))
+        raise KeyError(f"unknown region {region!r}; known regions: {known}")
+    return REGION_PRICES[key]
+
+
+def link_price(region_a: str, region_b: str) -> float:
+    """Relative per-unit price of a link between two regions.
+
+    Modeled as the arithmetic mean of the endpoint regions' prices: a
+    trans-pacific link pays for the expensive side, while intra-region links
+    in cheap regions stay at the baseline.
+    """
+    return (region_price(region_a) + region_price(region_b)) / 2.0

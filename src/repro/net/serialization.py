@@ -1,0 +1,59 @@
+"""JSON-friendly (de)serialization of topologies.
+
+Topologies round-trip through plain dictionaries so experiments can pin the
+exact network they ran on next to their results.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import TopologyError
+from repro.net.topology import Topology
+
+__all__ = ["topology_to_dict", "topology_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_dict(topo: Topology) -> dict[str, Any]:
+    """Serialize ``topo`` to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": topo.name,
+        "datacenters": [
+            {"id": str(node), "region": topo.regions.get(node)}
+            for node in topo.datacenters
+        ],
+        "edges": [
+            {
+                "tail": str(edge.tail),
+                "head": str(edge.head),
+                "price": edge.weight,
+                "capacity": topo.capacity(edge.tail, edge.head),
+            }
+            for edge in topo.edges
+        ],
+    }
+
+
+def topology_from_dict(data: dict[str, Any]) -> Topology:
+    """Rebuild a :class:`Topology` from :func:`topology_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TopologyError(f"unsupported topology format version: {version!r}")
+    topo = Topology(data["name"])
+    for dc in data["datacenters"]:
+        topo.add_datacenter(dc["id"], dc.get("region"))
+    for edge in data["edges"]:
+        capacity = edge.get("capacity")
+        if capacity is not None:
+            capacity = int(capacity)
+        topo.add_link(
+            edge["tail"],
+            edge["head"],
+            float(edge["price"]),
+            capacity=capacity,
+            bidirectional=False,
+        )
+    return topo

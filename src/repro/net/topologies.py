@@ -1,0 +1,218 @@
+"""Builders for the evaluation topologies.
+
+* :func:`b4` — a 12-datacenter, 19-bidirectional-link reconstruction of
+  Google's B4 inter-DC WAN (paper Fig. 2, citing Jain et al., SIGCOMM'13).
+  Google does not publish the exact adjacency, so we encode a geographically
+  plausible reconstruction with the published node/link counts: six North
+  American sites, two European sites, four Asian sites.
+* :func:`sub_b4` — the paper's SUB-B4: data centers DC1–DC6 and 7 of the B4
+  links between them (§V-A).
+* :func:`line_topology`, :func:`star_topology` — tiny analytic topologies
+  for tests and examples.
+* :func:`random_wan` — seeded synthetic WANs for scale studies.
+
+Link prices follow :mod:`repro.net.pricing`: per-unit price = mean of the
+endpoint regions' relative Cloudflare prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.pricing import link_price
+from repro.net.topology import Topology
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "b4",
+    "sub_b4",
+    "abilene",
+    "line_topology",
+    "star_topology",
+    "random_wan",
+]
+
+#: Region of each B4 data center in our reconstruction.
+B4_REGIONS: dict[str, str] = {
+    "DC1": "north_america",
+    "DC2": "north_america",
+    "DC3": "north_america",
+    "DC4": "north_america",
+    "DC5": "north_america",
+    "DC6": "north_america",
+    "DC7": "europe",
+    "DC8": "europe",
+    "DC9": "asia",
+    "DC10": "asia",
+    "DC11": "asia",
+    "DC12": "asia",
+}
+
+#: The 19 bidirectional links of the B4 reconstruction.
+B4_LINKS: tuple[tuple[str, str], ...] = (
+    # North American mesh
+    ("DC1", "DC2"),
+    ("DC1", "DC3"),
+    ("DC2", "DC3"),
+    ("DC2", "DC4"),
+    ("DC3", "DC4"),
+    ("DC3", "DC5"),
+    ("DC4", "DC5"),
+    ("DC4", "DC6"),
+    ("DC5", "DC6"),
+    # Transatlantic
+    ("DC5", "DC7"),
+    ("DC6", "DC7"),
+    ("DC6", "DC8"),
+    # Intra-Europe
+    ("DC7", "DC8"),
+    # Transpacific
+    ("DC1", "DC9"),
+    ("DC2", "DC9"),
+    ("DC1", "DC10"),
+    # Intra-Asia
+    ("DC9", "DC10"),
+    ("DC10", "DC11"),
+    ("DC11", "DC12"),
+)
+
+#: The 7 SUB-B4 links (a subset of ``B4_LINKS`` among DC1–DC6, §V-A).
+SUB_B4_LINKS: tuple[tuple[str, str], ...] = (
+    ("DC1", "DC2"),
+    ("DC1", "DC3"),
+    ("DC2", "DC3"),
+    ("DC2", "DC4"),
+    ("DC3", "DC4"),
+    ("DC4", "DC5"),
+    ("DC4", "DC6"),
+)
+
+
+def _build(name: str, links: tuple[tuple[str, str], ...], regions: dict[str, str]) -> Topology:
+    used_nodes = sorted({n for link in links for n in link}, key=lambda s: int(s[2:]))
+    topo = Topology(name)
+    for node in used_nodes:
+        topo.add_datacenter(node, regions[node])
+    for a, b in links:
+        topo.add_link(a, b, link_price(regions[a], regions[b]))
+    topo.validate()
+    return topo
+
+
+def b4() -> Topology:
+    """Google's B4 inter-DC WAN: 12 data centers, 19 bidirectional links."""
+    return _build("B4", B4_LINKS, B4_REGIONS)
+
+
+def sub_b4() -> Topology:
+    """The paper's SUB-B4: DC1–DC6 and 7 links (small-scale WAN)."""
+    return _build("SUB-B4", SUB_B4_LINKS, B4_REGIONS)
+
+
+#: The Abilene / Internet2 research backbone: 11 PoPs, 14 links — a
+#: standard traffic-engineering evaluation topology, included to check the
+#: algorithms generalize beyond the paper's two networks.
+ABILENE_LINKS: tuple[tuple[str, str], ...] = (
+    ("Seattle", "Sunnyvale"),
+    ("Seattle", "Denver"),
+    ("Sunnyvale", "LosAngeles"),
+    ("Sunnyvale", "Denver"),
+    ("LosAngeles", "Houston"),
+    ("Denver", "KansasCity"),
+    ("KansasCity", "Houston"),
+    ("KansasCity", "Indianapolis"),
+    ("Houston", "Atlanta"),
+    ("Atlanta", "Indianapolis"),
+    ("Atlanta", "WashingtonDC"),
+    ("Indianapolis", "Chicago"),
+    ("Chicago", "NewYork"),
+    ("NewYork", "WashingtonDC"),
+)
+
+
+def abilene() -> Topology:
+    """The Abilene (Internet2) backbone: 11 nodes, 14 bidirectional links.
+
+    All sites are North American, so every link carries the baseline
+    price 1.0 — a uniform-price counterpoint to B4's regional spread.
+    """
+    nodes = sorted({n for link in ABILENE_LINKS for n in link})
+    topo = Topology("Abilene")
+    for node in nodes:
+        topo.add_datacenter(node, "north_america")
+    for a, b in ABILENE_LINKS:
+        topo.add_link(a, b, link_price("north_america", "north_america"))
+    topo.validate()
+    return topo
+
+
+def line_topology(n: int, price: float = 1.0) -> Topology:
+    """A line of ``n`` data centers ``DC1 - DC2 - ... - DCn`` (tests/examples)."""
+    if n < 2:
+        raise ValueError(f"line topology needs >= 2 data centers, got {n}")
+    topo = Topology(f"line-{n}")
+    nodes = [f"DC{i}" for i in range(1, n + 1)]
+    for node in nodes:
+        topo.add_datacenter(node)
+    for a, b in zip(nodes[:-1], nodes[1:]):
+        topo.add_link(a, b, price)
+    topo.validate()
+    return topo
+
+
+def star_topology(n_leaves: int, price: float = 1.0) -> Topology:
+    """A hub ``DC0`` with ``n_leaves`` leaf data centers (tests/examples)."""
+    if n_leaves < 1:
+        raise ValueError(f"star topology needs >= 1 leaf, got {n_leaves}")
+    topo = Topology(f"star-{n_leaves}")
+    topo.add_datacenter("DC0")
+    for i in range(1, n_leaves + 1):
+        leaf = f"DC{i}"
+        topo.add_datacenter(leaf)
+        topo.add_link("DC0", leaf, price)
+    topo.validate()
+    return topo
+
+
+def random_wan(
+    n: int,
+    extra_links: int,
+    *,
+    price_range: tuple[float, float] = (1.0, 10.0),
+    rng: int | np.random.Generator | None = None,
+) -> Topology:
+    """A seeded random WAN: a ring of ``n`` DCs plus ``extra_links`` chords.
+
+    The ring guarantees strong connectivity; chords add path diversity.
+    Prices are drawn uniformly from ``price_range``.
+    """
+    if n < 3:
+        raise ValueError(f"random WAN needs >= 3 data centers, got {n}")
+    low, high = price_range
+    if not (0 <= low <= high):
+        raise ValueError(f"invalid price range {price_range!r}")
+    max_extra = n * (n - 1) // 2 - n
+    if extra_links < 0 or extra_links > max_extra:
+        raise ValueError(
+            f"extra_links must be in [0, {max_extra}] for n={n}, got {extra_links}"
+        )
+    gen = ensure_rng(rng)
+    topo = Topology(f"random-wan-{n}")
+    nodes = [f"DC{i}" for i in range(1, n + 1)]
+    for node in nodes:
+        topo.add_datacenter(node)
+    existing: set[frozenset[str]] = set()
+    for a, b in zip(nodes, nodes[1:] + nodes[:1]):
+        topo.add_link(a, b, float(gen.uniform(low, high)))
+        existing.add(frozenset((a, b)))
+    added = 0
+    while added < extra_links:
+        a, b = gen.choice(nodes, size=2, replace=False)
+        key = frozenset((str(a), str(b)))
+        if key in existing:
+            continue
+        topo.add_link(str(a), str(b), float(gen.uniform(low, high)))
+        existing.add(key)
+        added += 1
+    topo.validate()
+    return topo

@@ -1,0 +1,28 @@
+"""Evaluation substrate: schedule validation and metrics.
+
+The paper evaluates solutions with a C++ simulator; this package is the
+Python equivalent — it replays a schedule against its instance, confirms
+every structural and capacity invariant, and computes the quantities the
+paper's figures plot (profit, acceptance, utilization).
+"""
+
+from repro.sim.validator import ValidationReport, validate_schedule
+from repro.sim.metrics import SolutionMetrics, compare, evaluate_schedule
+from repro.sim.sensitivity import (
+    FailureReport,
+    PricePoint,
+    link_failure_impact,
+    price_sensitivity,
+)
+
+__all__ = [
+    "ValidationReport",
+    "validate_schedule",
+    "SolutionMetrics",
+    "evaluate_schedule",
+    "compare",
+    "PricePoint",
+    "price_sensitivity",
+    "FailureReport",
+    "link_failure_impact",
+]

@@ -1,0 +1,100 @@
+"""Solution metrics — the quantities the paper's figures plot.
+
+:func:`evaluate_schedule` condenses a (validated) schedule into a
+:class:`SolutionMetrics` record: profit decomposition, acceptance counts
+and the max/min/mean link-utilization triple of Figs. 3c and 5c.
+:func:`compare` expresses one solution relative to another (e.g. "Metis
+achieves 1.32x the profit of EcoFlow").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ScheduleError
+from repro.sim.validator import validate_schedule
+
+__all__ = ["SolutionMetrics", "evaluate_schedule", "compare"]
+
+
+@dataclass(frozen=True)
+class SolutionMetrics:
+    """Summary metrics of one solution on one instance."""
+
+    solution: str
+    num_requests: int
+    num_accepted: int
+    revenue: float
+    cost: float
+    profit: float
+    utilization_max: float
+    utilization_min: float
+    utilization_mean: float
+    total_bandwidth_units: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.num_requests == 0:
+            return 0.0
+        return self.num_accepted / self.num_requests
+
+    def as_row(self) -> list:
+        """The figure-table row used by the experiment reports."""
+        return [
+            self.solution,
+            self.num_requests,
+            self.num_accepted,
+            self.revenue,
+            self.cost,
+            self.profit,
+            self.utilization_mean,
+        ]
+
+
+def evaluate_schedule(
+    name: str, schedule: Schedule, *, validate: bool = True
+) -> SolutionMetrics:
+    """Summarize ``schedule``; with ``validate=True`` (default) the schedule
+    is first re-derived and cross-checked, and any discrepancy raises
+    :class:`~repro.exceptions.ScheduleError`."""
+    if validate:
+        report = validate_schedule(schedule)
+        if not report.ok:
+            raise ScheduleError(
+                f"schedule for {name!r} failed validation: {report.errors[:3]}"
+            )
+    utilization = schedule.utilization()
+    return SolutionMetrics(
+        solution=name,
+        num_requests=schedule.instance.num_requests,
+        num_accepted=schedule.num_accepted,
+        revenue=schedule.revenue,
+        cost=schedule.cost,
+        profit=schedule.profit,
+        utilization_max=utilization.max,
+        utilization_min=utilization.min,
+        utilization_mean=utilization.mean,
+        total_bandwidth_units=sum(schedule.charged.values()),
+    )
+
+
+def compare(target: SolutionMetrics, baseline: SolutionMetrics) -> dict[str, float]:
+    """Ratios of ``target`` over ``baseline`` for the headline quantities.
+
+    Ratios against a non-positive baseline value are reported as ``inf``
+    (improvement from nothing) rather than a misleading sign flip.
+    """
+
+    def ratio(a: float, b: float) -> float:
+        if b <= 0:
+            return float("inf") if a > 0 else 1.0
+        return a / b
+
+    return {
+        "profit_ratio": ratio(target.profit, baseline.profit),
+        "revenue_ratio": ratio(target.revenue, baseline.revenue),
+        "cost_ratio": ratio(target.cost, baseline.cost),
+        "accepted_ratio": ratio(target.num_accepted, baseline.num_accepted),
+        "utilization_ratio": ratio(target.utilization_mean, baseline.utilization_mean),
+    }

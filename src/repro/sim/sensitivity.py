@@ -1,0 +1,198 @@
+"""What-if analysis on committed schedules (extension).
+
+Two operational questions a provider asks after committing to a schedule:
+
+* :func:`price_sensitivity` — **what if ISP prices move?**  Bandwidth is
+  leased per billing cycle; if the provider commits at today's bids but the
+  ISP reprices links, revenue is locked while cost scales.  The sweep
+  reports profit across a price-multiplier range and the break-even
+  multiplier (where the committed schedule's profit hits zero).
+* :func:`link_failure_impact` — **what if a link fails for the cycle?**
+  Requests routed across the failed link are rerouted onto their surviving
+  candidate paths where the already-purchased bandwidth (plus optionally
+  fresh purchases) allows, highest bid first; the rest are refunded.  The
+  report quantifies lost revenue, stranded bandwidth cost and the new
+  profit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.exceptions import EdgeNotFoundError
+
+__all__ = [
+    "PricePoint",
+    "price_sensitivity",
+    "FailureReport",
+    "link_failure_impact",
+]
+
+EdgeKey = tuple
+
+_CAP_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PricePoint:
+    """Profit of the committed schedule at one price multiplier."""
+
+    multiplier: float
+    cost: float
+    profit: float
+
+
+def price_sensitivity(
+    schedule: Schedule,
+    multipliers: Sequence[float] = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0),
+) -> tuple[list[PricePoint], float | None]:
+    """Profit of ``schedule`` when every link price scales by each multiplier.
+
+    Returns ``(points, break_even)`` where ``break_even`` is the multiplier
+    at which profit crosses zero (``None`` when the schedule buys no
+    bandwidth, i.e. profit is price-independent).
+    """
+    if any(m < 0 for m in multipliers):
+        raise ValueError(f"multipliers must be >= 0, got {multipliers!r}")
+    base_cost = schedule.cost
+    revenue = schedule.revenue
+    points = [
+        PricePoint(
+            multiplier=float(m),
+            cost=base_cost * m,
+            profit=revenue - base_cost * m,
+        )
+        for m in multipliers
+    ]
+    break_even = revenue / base_cost if base_cost > 0 else None
+    return points, break_even
+
+
+@dataclass
+class FailureReport:
+    """Impact of a cycle-long failure of one directed link pair."""
+
+    failed_link: EdgeKey
+    affected_requests: list[int]
+    rerouted: dict[int, int]
+    dropped: list[int]
+    revenue_lost: float
+    stranded_cost: float
+    new_profit: float
+    extra_units_bought: int
+
+
+def link_failure_impact(
+    schedule: Schedule,
+    link: EdgeKey,
+    *,
+    allow_new_purchases: bool = False,
+) -> FailureReport:
+    """Simulate a whole-cycle failure of ``link`` (both directions).
+
+    Affected accepted requests are detached and re-placed highest bid
+    first on their surviving candidate paths.  With
+    ``allow_new_purchases=False`` (default) rerouting may only use the
+    bandwidth already purchased on surviving links; otherwise the provider
+    additionally buys units for a reroute, but only when they cost less
+    than the bid they rescue (reflected in ``new_profit``).
+
+    The failed link's own purchased units become *stranded cost*: the paper's
+    billing model charges per cycle, so they are paid regardless.
+    """
+    instance = schedule.instance
+    tail, head = link
+    if not instance.topology.graph.has_edge(tail, head):
+        raise EdgeNotFoundError(f"no link {tail!r} -> {head!r}")
+    failed = {
+        instance.edge_index[(tail, head)],
+    }
+    if instance.topology.graph.has_edge(head, tail):
+        failed.add(instance.edge_index[(head, tail)])
+
+    # Split accepted requests into unaffected and affected.
+    affected: list[int] = []
+    assignment: dict[int, int | None] = {}
+    for request_id, path_idx in schedule.assignment.items():
+        if path_idx is None:
+            assignment[request_id] = None
+            continue
+        edge_set = set(int(e) for e in instance.path_edges[request_id][path_idx])
+        if edge_set & failed:
+            affected.append(request_id)
+            assignment[request_id] = None
+        else:
+            assignment[request_id] = path_idx
+
+    # Residual capacity on surviving links = purchased - surviving loads.
+    purchased = np.array(
+        [float(schedule.charged.get(key, 0)) for key in instance.edges]
+    )
+    loads = instance.loads(assignment)
+    residual = purchased[:, None] - loads
+    extra_units = np.zeros(instance.num_edges)
+
+    rerouted: dict[int, int] = {}
+    dropped: list[int] = []
+    for request_id in sorted(
+        affected, key=lambda rid: instance.request(rid).value, reverse=True
+    ):
+        req = instance.request(request_id)
+        # Pick the surviving path with the cheapest incremental purchase;
+        # free (fits in paid bandwidth) beats any purchase.
+        best_path = None
+        best_deficit = None
+        best_cost = math.inf
+        for path_idx in range(instance.num_paths(request_id)):
+            edge_idx = instance.path_edges[request_id][path_idx]
+            if set(int(e) for e in edge_idx) & failed:
+                continue
+            window = residual[edge_idx, req.start : req.end + 1]
+            deficit = np.ceil(
+                (req.rate - window.min(axis=1)).clip(min=0) - _CAP_TOL
+            )
+            cost = float((instance.prices[edge_idx] * deficit).sum())
+            if cost > 0 and not allow_new_purchases:
+                continue
+            if cost > 0 and cost >= req.value:
+                continue  # repurchasing would lose money vs refunding
+            if cost < best_cost:
+                best_cost = cost
+                best_path = path_idx
+                best_deficit = deficit
+        if best_path is None:
+            dropped.append(request_id)
+            continue
+        edge_idx = instance.path_edges[request_id][best_path]
+        if best_cost > 0:
+            extra_units[edge_idx] += best_deficit
+            residual[edge_idx, :] += best_deficit[:, None]
+        assignment[request_id] = best_path
+        residual[edge_idx, req.start : req.end + 1] -= req.rate
+        rerouted[request_id] = best_path
+
+    revenue_lost = sum(instance.request(rid).value for rid in dropped)
+    stranded_cost = sum(
+        float(instance.prices[e]) * schedule.charged.get(instance.edges[e], 0)
+        for e in failed
+    )
+    extra_cost = float((instance.prices * extra_units).sum())
+    # New profit: surviving revenue minus the original committed cost (all
+    # purchased units are sunk for the cycle) minus any fresh purchases.
+    new_profit = (schedule.revenue - revenue_lost) - schedule.cost - extra_cost
+
+    return FailureReport(
+        failed_link=(tail, head),
+        affected_requests=sorted(affected),
+        rerouted=rerouted,
+        dropped=sorted(dropped),
+        revenue_lost=revenue_lost,
+        stranded_cost=stranded_cost,
+        new_profit=new_profit,
+        extra_units_bought=int(extra_units.sum()),
+    )

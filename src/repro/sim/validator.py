@@ -1,0 +1,145 @@
+"""Independent schedule validation.
+
+:func:`validate_schedule` re-derives every quantity of a schedule from
+first principles — *without* trusting the :class:`~repro.core.schedule.Schedule`
+accessors — and checks:
+
+* structural soundness: every request decided, every chosen path connects
+  the request's endpoints in the topology;
+* capacity: per-slot loads within the purchased bandwidth, and within any
+  external capacity ceilings supplied;
+* accounting: revenue, cost and profit recomputed from raw requests and
+  prices match the schedule's own figures.
+
+The experiment harness validates every schedule it reports, so a bug in the
+accounting fast paths cannot silently skew a figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+
+__all__ = ["ValidationReport", "validate_schedule"]
+
+EdgeKey = tuple
+
+_TOL = 1e-6
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass: recomputed figures plus any errors."""
+
+    revenue: float
+    cost: float
+    profit: float
+    num_accepted: int
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_schedule(
+    schedule: Schedule,
+    *,
+    capacities: dict[EdgeKey, int | None] | None = None,
+) -> ValidationReport:
+    """Re-derive and cross-check every figure of ``schedule``.
+
+    ``capacities`` optionally adds external per-edge ceilings (the BL-SPM
+    setting) on top of the schedule's own purchased bandwidth.
+    """
+    instance: SPMInstance = schedule.instance
+    errors: list[str] = []
+
+    # Structural checks + recomputed per-(edge, slot) loads.
+    loads = [[0.0] * instance.num_slots for _ in range(instance.num_edges)]
+    revenue = 0.0
+    num_accepted = 0
+    for req in instance.requests:
+        if req.request_id not in schedule.assignment:
+            errors.append(f"request {req.request_id} has no decision")
+            continue
+        path_idx = schedule.assignment[req.request_id]
+        if path_idx is None:
+            continue
+        path = instance.path(req.request_id, path_idx)
+        if path.source != req.source or path.target != req.dest:
+            errors.append(
+                f"request {req.request_id}: path endpoints {path.source!r}->"
+                f"{path.target!r} do not match request "
+                f"{req.source!r}->{req.dest!r}"
+            )
+        for tail, head in path.edges:
+            if not instance.topology.graph.has_edge(tail, head):
+                errors.append(
+                    f"request {req.request_id}: edge {tail!r}->{head!r} "
+                    "not in topology"
+                )
+                continue
+            edge_idx = instance.edge_index[(tail, head)]
+            for t in req.slots:
+                loads[edge_idx][t] += req.rate
+        revenue += req.value
+        num_accepted += 1
+
+    # Capacity and charging checks.
+    cost = 0.0
+    for edge_idx, key in enumerate(instance.edges):
+        peak = max(loads[edge_idx])
+        purchased = schedule.charged.get(key, 0)
+        if peak > purchased + _TOL:
+            errors.append(
+                f"edge {key!r}: peak load {peak:.6f} exceeds purchased "
+                f"bandwidth {purchased}"
+            )
+        needed = int(math.ceil(peak - 1e-9))
+        if purchased > needed:
+            # Over-purchase is legal but worth surfacing: it can only come
+            # from an explicit `charged` override, never from charge_for.
+            pass
+        if capacities is not None:
+            ceiling = capacities.get(key)
+            if ceiling is not None and peak > ceiling + _TOL:
+                errors.append(
+                    f"edge {key!r}: peak load {peak:.6f} exceeds external "
+                    f"capacity {ceiling}"
+                )
+        cost += instance.topology.price(*key) * purchased
+
+    profit = revenue - cost
+
+    # Accounting cross-checks against the schedule's own figures.
+    if abs(revenue - schedule.revenue) > _TOL:
+        errors.append(
+            f"revenue mismatch: recomputed {revenue:.6f} vs schedule "
+            f"{schedule.revenue:.6f}"
+        )
+    if abs(cost - schedule.cost) > _TOL:
+        errors.append(
+            f"cost mismatch: recomputed {cost:.6f} vs schedule {schedule.cost:.6f}"
+        )
+    if abs(profit - schedule.profit) > _TOL:
+        errors.append(
+            f"profit mismatch: recomputed {profit:.6f} vs schedule "
+            f"{schedule.profit:.6f}"
+        )
+    if num_accepted != schedule.num_accepted:
+        errors.append(
+            f"acceptance mismatch: recomputed {num_accepted} vs schedule "
+            f"{schedule.num_accepted}"
+        )
+
+    return ValidationReport(
+        revenue=revenue,
+        cost=cost,
+        profit=profit,
+        num_accepted=num_accepted,
+        errors=errors,
+    )

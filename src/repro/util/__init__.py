@@ -1,0 +1,22 @@
+"""Shared utilities: validation helpers, RNG handling, table rendering."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_type",
+    "format_table",
+]

@@ -1,0 +1,45 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+ready-made :class:`numpy.random.Generator`.  Centralizing the coercion here
+keeps experiments reproducible: a single integer seed at the top of an
+experiment fans out into independent, stable substreams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed, or
+    an existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed or numpy Generator, got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Uses :meth:`numpy.random.Generator.spawn` so the children are stable
+    functions of the parent seed — re-running with the same seed reproduces
+    every substream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    parent = ensure_rng(rng)
+    return list(parent.spawn(n))

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper's figures plot; this
+module renders them as aligned ASCII tables so terminal output and the
+``EXPERIMENTS.md`` record share one formatter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["format_table"]
+
+
+def _cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; all other values via ``str``.
+    Returns the table as a single string (no trailing newline).
+    """
+    headers = [str(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        str_rows.append([_cell(v, float_fmt) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Small argument-validation helpers used across the library.
+
+These raise standard ``TypeError``/``ValueError`` (not :class:`ReproError`)
+because a failed check is a programming error at the call site, not a domain
+failure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "check_type",
+    "check_finite",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+]
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``.
+
+    ``bool`` is deliberately rejected where a numeric type is expected, since
+    ``isinstance(True, int)`` would otherwise let booleans slip through.
+    """
+    if isinstance(value, bool) and expected in (int, float, (int, float)):
+        raise TypeError(f"{name} must be {_type_name(expected)}, got bool")
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {_type_name(expected)}, got {type(value).__name__}"
+        )
+
+
+def _type_name(expected: type | tuple[type, ...]) -> str:
+    if isinstance(expected, tuple):
+        return " or ".join(t.__name__ for t in expected)
+    return expected.__name__
+
+
+def check_finite(name: str, value: float) -> None:
+    """Raise ``ValueError`` if ``value`` is NaN or infinite."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive and finite."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0 and finite."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    check_finite(name, value)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")

@@ -1,0 +1,41 @@
+"""Synthetic workload substrate: requests, generators, value models, traces."""
+
+from repro.workload.request import Request, RequestSet
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.value_models import (
+    FlatRateValueModel,
+    HeavyTailValueModel,
+    PriceAwareValueModel,
+    ValueModel,
+)
+from repro.workload.traces import (
+    requests_from_dicts,
+    requests_to_dicts,
+    load_trace,
+    save_trace,
+)
+from repro.workload.patterns import (
+    SEASONAL_RETAIL,
+    generate_structured_workload,
+    gravity_pair_weights,
+    seasonal_weights,
+)
+
+__all__ = [
+    "Request",
+    "RequestSet",
+    "WorkloadConfig",
+    "generate_workload",
+    "ValueModel",
+    "FlatRateValueModel",
+    "HeavyTailValueModel",
+    "PriceAwareValueModel",
+    "requests_from_dicts",
+    "requests_to_dicts",
+    "load_trace",
+    "save_trace",
+    "SEASONAL_RETAIL",
+    "seasonal_weights",
+    "gravity_pair_weights",
+    "generate_structured_workload",
+]

@@ -1,0 +1,164 @@
+"""Structured arrival and endpoint patterns (extension of §V-A's model).
+
+The paper's slots are calendar months, which real inter-DC demand does not
+hit uniformly; and real DC pairs are not equally popular.  This module
+adds two orthogonal structure knobs to the synthetic model, both used by
+the ablation studies:
+
+* **seasonality** — per-slot arrival weights.  :data:`SEASONAL_RETAIL`
+  encodes a Q4-heavy retail year; :func:`seasonal_weights` builds a
+  sinusoidal profile for arbitrary cycle lengths.
+* **gravity endpoint model** — DC-pair popularity proportional to the
+  product of per-DC weights (a standard traffic-matrix model), so a few
+  large sites dominate, instead of uniform random pairs.
+
+:func:`generate_structured_workload` mirrors
+:func:`~repro.workload.generator.generate_workload` with these knobs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.net.topology import Topology
+from repro.util.rng import ensure_rng
+from repro.workload.generator import DEFAULT_RATE_RANGE
+from repro.workload.request import Request, RequestSet
+from repro.workload.value_models import PriceAwareValueModel, ValueModel
+
+__all__ = [
+    "SEASONAL_RETAIL",
+    "seasonal_weights",
+    "gravity_pair_weights",
+    "generate_structured_workload",
+]
+
+#: A retail-calendar year: quiet Q1, ramp to a Q4 peak (Nov/Dec heaviest).
+SEASONAL_RETAIL: tuple[float, ...] = (
+    0.6, 0.6, 0.7, 0.7, 0.8, 0.9, 0.9, 1.0, 1.1, 1.3, 1.7, 1.7,
+)
+
+
+def seasonal_weights(
+    num_slots: int, *, peak: float = 2.0, phase: float = 0.0
+) -> list[float]:
+    """A sinusoidal arrival profile over ``num_slots``.
+
+    Weights oscillate between 1 and ``peak`` with one full period per
+    cycle; ``phase`` (radians) shifts where the peak lands.
+    """
+    if num_slots < 1:
+        raise WorkloadError(f"num_slots must be >= 1, got {num_slots}")
+    if peak < 1.0:
+        raise WorkloadError(f"peak must be >= 1, got {peak}")
+    half_spread = (peak - 1.0) / 2.0
+    return [
+        1.0 + half_spread * (1.0 + math.sin(2.0 * math.pi * t / num_slots + phase))
+        for t in range(num_slots)
+    ]
+
+
+def gravity_pair_weights(
+    topology: Topology,
+    site_weights: dict | None = None,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> dict[tuple, float]:
+    """Directed DC-pair weights under a gravity model.
+
+    ``site_weights`` gives each DC a mass (defaults to a seeded lognormal
+    draw, modeling a few large sites); the weight of the pair ``(s, d)``
+    is ``mass[s] * mass[d]`` for ``s != d``.
+    """
+    datacenters = topology.datacenters
+    if len(datacenters) < 2:
+        raise WorkloadError("gravity model needs >= 2 data centers")
+    if site_weights is None:
+        gen = ensure_rng(rng)
+        site_weights = {
+            dc: float(gen.lognormal(mean=0.0, sigma=1.0)) for dc in datacenters
+        }
+    missing = [dc for dc in datacenters if dc not in site_weights]
+    if missing:
+        raise WorkloadError(f"site_weights missing data centers: {missing}")
+    return {
+        (s, d): site_weights[s] * site_weights[d]
+        for s in datacenters
+        for d in datacenters
+        if s != d
+    }
+
+
+def generate_structured_workload(
+    topology: Topology,
+    num_requests: int,
+    *,
+    num_slots: int = 12,
+    slot_weights: Sequence[float] | None = None,
+    pair_weights: dict[tuple, float] | None = None,
+    rate_range: tuple[float, float] = DEFAULT_RATE_RANGE,
+    max_duration: int | None = None,
+    value_model: ValueModel | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> RequestSet:
+    """Draw a workload with seasonal arrivals and gravity endpoints.
+
+    ``slot_weights`` (length ``num_slots``) biases start-slot sampling;
+    ``pair_weights`` biases endpoint-pair sampling.  Omitted knobs fall
+    back to the uniform behaviour of the base generator.
+    """
+    if num_requests < 0:
+        raise WorkloadError(f"num_requests must be >= 0, got {num_requests}")
+    gen = ensure_rng(rng)
+    value_model = value_model or PriceAwareValueModel()
+
+    if slot_weights is None:
+        slot_probabilities = np.full(num_slots, 1.0 / num_slots)
+    else:
+        if len(slot_weights) != num_slots:
+            raise WorkloadError(
+                f"slot_weights has {len(slot_weights)} entries for "
+                f"{num_slots} slots"
+            )
+        weights = np.asarray(slot_weights, dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise WorkloadError("slot_weights must be non-negative, not all zero")
+        slot_probabilities = weights / weights.sum()
+
+    if pair_weights is None:
+        pair_weights = gravity_pair_weights(topology, rng=gen)
+    pairs = list(pair_weights)
+    pair_probs = np.array([pair_weights[p] for p in pairs], dtype=float)
+    if np.any(pair_probs < 0) or pair_probs.sum() <= 0:
+        raise WorkloadError("pair weights must be non-negative, not all zero")
+    pair_probs /= pair_probs.sum()
+
+    low, high = rate_range
+    starts = sorted(
+        int(s) for s in gen.choice(num_slots, size=num_requests, p=slot_probabilities)
+    )
+    requests = []
+    for request_id, start in enumerate(starts):
+        source, dest = pairs[int(gen.choice(len(pairs), p=pair_probs))]
+        max_end = num_slots - 1
+        if max_duration is not None:
+            max_end = min(max_end, start + max_duration - 1)
+        end = int(gen.integers(start, max_end + 1))
+        rate = float(gen.uniform(low, high))
+        value = value_model.value(topology, source, dest, rate, end - start + 1, gen)
+        requests.append(
+            Request(
+                request_id=request_id,
+                source=source,
+                dest=dest,
+                start=start,
+                end=end,
+                rate=rate,
+                value=value,
+            )
+        )
+    return RequestSet(requests, num_slots)

@@ -1,0 +1,71 @@
+"""Workload trace persistence.
+
+Requests round-trip through JSON so an experiment can pin the exact
+workload it ran on.  Node ids are stringified on save; loaders return them
+as strings, which matches the builders in :mod:`repro.net.topologies`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import WorkloadError
+from repro.workload.request import Request, RequestSet
+
+__all__ = ["requests_to_dicts", "requests_from_dicts", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def requests_to_dicts(requests: RequestSet) -> dict[str, Any]:
+    """Serialize a :class:`RequestSet` to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "num_slots": requests.num_slots,
+        "requests": [
+            {
+                "request_id": r.request_id,
+                "source": str(r.source),
+                "dest": str(r.dest),
+                "start": r.start,
+                "end": r.end,
+                "rate": r.rate,
+                "value": r.value,
+            }
+            for r in requests
+        ],
+    }
+
+
+def requests_from_dicts(data: dict[str, Any]) -> RequestSet:
+    """Rebuild a :class:`RequestSet` from :func:`requests_to_dicts` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise WorkloadError(f"unsupported trace format version: {version!r}")
+    requests = [
+        Request(
+            request_id=int(r["request_id"]),
+            source=r["source"],
+            dest=r["dest"],
+            start=int(r["start"]),
+            end=int(r["end"]),
+            rate=float(r["rate"]),
+            value=float(r["value"]),
+        )
+        for r in data["requests"]
+    ]
+    return RequestSet(requests, int(data["num_slots"]))
+
+
+def save_trace(requests: RequestSet, path: str | Path) -> None:
+    """Write a request trace as JSON to ``path``."""
+    payload = requests_to_dicts(requests)
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_trace(path: str | Path) -> RequestSet:
+    """Load a request trace previously written by :func:`save_trace`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return requests_from_dicts(data)

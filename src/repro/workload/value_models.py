@@ -1,0 +1,155 @@
+"""Pluggable request-value models.
+
+The paper sets a request's bid "based on the bandwidth requirements and the
+bandwidth prices published by cloud providers" (§V-A).  We expose that as a
+strategy interface so experiments can vary how profitable the request mix is
+relative to ISP transit prices:
+
+* :class:`PriceAwareValueModel` (the default, matching the paper): the bid
+  scales with rate x duration x the cheapest-path transit price between the
+  endpoints, times a ``markup`` — i.e. customers pay roughly what retail
+  cloud price lists would charge for that reservation, which sits above the
+  provider's wholesale cost on cheap paths and may sit below it on expensive
+  ones.  A multiplicative noise term models bid dispersion.
+* :class:`FlatRateValueModel`: the bid ignores geography (rate x duration x
+  a flat unit price).  Useful as an ablation: with geography-blind bids the
+  provider has stronger incentives to decline requests crossing expensive
+  links.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.exceptions import NoPathError, WorkloadError
+from repro.net.paths import shortest_path
+from repro.net.topology import Topology
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "ValueModel",
+    "PriceAwareValueModel",
+    "FlatRateValueModel",
+    "HeavyTailValueModel",
+]
+
+NodeId = Hashable
+
+
+class ValueModel(ABC):
+    """Strategy assigning a bid value to a candidate request."""
+
+    @abstractmethod
+    def value(
+        self,
+        topology: Topology,
+        source: NodeId,
+        dest: NodeId,
+        rate: float,
+        duration: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """The bid for reserving ``rate`` units over ``duration`` slots."""
+
+
+class PriceAwareValueModel(ValueModel):
+    """Bid = ``markup`` x rate x duration x cheapest-path price (+/- noise).
+
+    ``markup`` > 1 means the average request is profitable when routed on its
+    cheapest path; ``noise`` is the half-width of a uniform multiplicative
+    perturbation (``0.2`` -> bids in ``[0.8, 1.2]`` x the deterministic bid),
+    modeling the dispersion of sealed bids.
+    """
+
+    def __init__(self, markup: float = 1.5, noise: float = 0.2) -> None:
+        check_positive("markup", markup)
+        check_nonnegative("noise", noise)
+        if noise >= 1:
+            raise WorkloadError(f"noise must be < 1, got {noise}")
+        self.markup = markup
+        self.noise = noise
+        self._path_price_cache: dict[tuple[int, NodeId, NodeId], float] = {}
+
+    def _cheapest_price(self, topology: Topology, source: NodeId, dest: NodeId) -> float:
+        key = (id(topology), source, dest)
+        if key not in self._path_price_cache:
+            try:
+                self._path_price_cache[key] = shortest_path(
+                    topology.graph, source, dest
+                ).cost
+            except NoPathError:
+                raise WorkloadError(
+                    f"no path {source!r} -> {dest!r} in topology {topology.name!r}"
+                ) from None
+        return self._path_price_cache[key]
+
+    def value(
+        self,
+        topology: Topology,
+        source: NodeId,
+        dest: NodeId,
+        rate: float,
+        duration: int,
+        rng: np.random.Generator,
+    ) -> float:
+        base = self.markup * rate * duration * self._cheapest_price(topology, source, dest)
+        factor = 1.0 if self.noise == 0 else float(rng.uniform(1 - self.noise, 1 + self.noise))
+        return base * factor
+
+
+class FlatRateValueModel(ValueModel):
+    """Bid = ``unit_price`` x rate x duration, blind to geography."""
+
+    def __init__(self, unit_price: float = 3.0) -> None:
+        check_positive("unit_price", unit_price)
+        self.unit_price = unit_price
+
+    def value(
+        self,
+        topology: Topology,
+        source: NodeId,
+        dest: NodeId,
+        rate: float,
+        duration: int,
+        rng: np.random.Generator,
+    ) -> float:
+        return self.unit_price * rate * duration
+
+
+class HeavyTailValueModel(ValueModel):
+    """Pareto-dispersed bids: most customers bid near cost, a few bid far above.
+
+    Bid = rate x duration x cheapest-path price x ``Pareto(shape)``
+    (Lomax-shifted so the multiplier is at least ``scale``).  Smaller
+    ``shape`` means heavier tail; ``shape <= 1`` (infinite-mean regime) is
+    rejected.  Value-aware schedulers (TAA, Metis) gain the most under
+    heavy-tailed bids, because *which* requests you keep dominates *how
+    many* — the ablation in :mod:`repro.experiments.ablations` quantifies
+    this.
+    """
+
+    def __init__(self, shape: float = 2.5, scale: float = 0.5) -> None:
+        check_positive("scale", scale)
+        if shape <= 1.0:
+            raise WorkloadError(
+                f"shape must be > 1 (finite-mean Pareto), got {shape}"
+            )
+        self.shape = shape
+        self.scale = scale
+        self._price_model = PriceAwareValueModel(markup=1.0, noise=0.0)
+
+    def value(
+        self,
+        topology: Topology,
+        source: NodeId,
+        dest: NodeId,
+        rate: float,
+        duration: int,
+        rng: np.random.Generator,
+    ) -> float:
+        base = self._price_model.value(topology, source, dest, rate, duration, rng)
+        multiplier = self.scale * (1.0 + float(rng.pareto(self.shape)))
+        return base * multiplier

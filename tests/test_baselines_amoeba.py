@@ -1,0 +1,74 @@
+"""Tests for the Amoeba baseline."""
+
+import pytest
+
+from repro.baselines.amoeba import solve_amoeba
+from repro.core.instance import SPMInstance
+from repro.exceptions import AlgorithmError
+from repro.workload.request import RequestSet
+
+from tests.conftest import make_request
+
+
+def uniform_caps(instance, units):
+    return {key: units for key in instance.edges}
+
+
+class TestSolveAmoeba:
+    def test_ample_capacity_accepts_all(self, small_sub_b4_instance):
+        result = solve_amoeba(
+            small_sub_b4_instance, uniform_caps(small_sub_b4_instance, 100)
+        )
+        assert (
+            result.schedule.num_accepted == small_sub_b4_instance.num_requests
+        )
+
+    def test_zero_capacity_accepts_none(self, small_sub_b4_instance):
+        result = solve_amoeba(
+            small_sub_b4_instance, uniform_caps(small_sub_b4_instance, 0)
+        )
+        assert result.schedule.num_accepted == 0
+
+    def test_respects_capacities(self, small_sub_b4_instance):
+        caps = uniform_caps(small_sub_b4_instance, 1)
+        result = solve_amoeba(small_sub_b4_instance, caps)
+        result.schedule.check_capacities(caps)  # no raise
+
+    def test_first_fit_in_arrival_order(self, diamond):
+        # Capacity 1 on every link; two rate-0.6 requests overlap: the
+        # first gets the cheap path, the second spills to the expensive
+        # one, a third overlapping request does not fit at all.
+        requests = RequestSet(
+            [
+                make_request(0, start=0, end=0, rate=0.6, value=1.0),
+                make_request(1, start=0, end=0, rate=0.6, value=9.0),
+                make_request(2, start=0, end=0, rate=0.6, value=9.0),
+            ],
+            num_slots=1,
+        )
+        inst = SPMInstance.build(diamond, requests, k_paths=2)
+        result = solve_amoeba(inst, uniform_caps(inst, 1))
+        assert result.schedule.assignment[0] == 0
+        assert result.schedule.assignment[1] == 1
+        assert result.schedule.assignment[2] is None, (
+            "value-blind first-fit keeps the early cheap request and "
+            "declines the late valuable one"
+        )
+
+    def test_disjoint_windows_share_capacity(self, diamond):
+        requests = RequestSet(
+            [
+                make_request(0, start=0, end=0, rate=0.9),
+                make_request(1, start=1, end=1, rate=0.9),
+            ],
+            num_slots=2,
+        )
+        inst = SPMInstance.build(diamond, requests, k_paths=1)
+        result = solve_amoeba(inst, uniform_caps(inst, 1))
+        assert result.schedule.num_accepted == 2
+
+    def test_missing_capacity_rejected(self, small_sub_b4_instance):
+        caps = uniform_caps(small_sub_b4_instance, 1)
+        caps.pop(next(iter(caps)))
+        with pytest.raises(AlgorithmError):
+            solve_amoeba(small_sub_b4_instance, caps)

@@ -1,0 +1,56 @@
+"""Tests for the MinCost baseline."""
+
+import pytest
+
+from repro.baselines.mincost import solve_mincost
+from repro.core.maa import solve_maa
+
+
+class TestSolveMincost:
+    def test_accepts_everything(self, small_sub_b4_instance):
+        schedule = solve_mincost(small_sub_b4_instance)
+        assert schedule.num_accepted == small_sub_b4_instance.num_requests
+
+    def test_uses_cheapest_path(self, small_sub_b4_instance):
+        schedule = solve_mincost(small_sub_b4_instance)
+        assert all(p == 0 for p in schedule.assignment.values())
+
+    def test_diamond_routes_on_cheap_links(self, diamond_instance):
+        schedule = solve_mincost(diamond_instance)
+        assert schedule.charged[("A", "C")] == 0
+        assert schedule.charged[("A", "B")] > 0
+
+    def test_exclusive_mode_charges_at_least_peak(self, small_sub_b4_instance):
+        peak = solve_mincost(small_sub_b4_instance, sharing="peak")
+        exclusive = solve_mincost(small_sub_b4_instance, sharing="exclusive")
+        assert exclusive.cost >= peak.cost - 1e-9
+        for key, units in peak.charged.items():
+            assert exclusive.charged[key] >= units
+
+    def test_exclusive_mode_sums_rates(self, diamond):
+        from repro.core.instance import SPMInstance
+        from repro.workload.request import RequestSet
+
+        from tests.conftest import make_request
+
+        # Two disjoint-window requests share a unit in peak mode but not in
+        # exclusive mode.
+        requests = RequestSet(
+            [
+                make_request(0, start=0, end=0, rate=0.6),
+                make_request(1, start=1, end=1, rate=0.6),
+            ],
+            num_slots=2,
+        )
+        inst = SPMInstance.build(diamond, requests, k_paths=1)
+        assert solve_mincost(inst, sharing="peak").charged[("A", "B")] == 1
+        assert solve_mincost(inst, sharing="exclusive").charged[("A", "B")] == 2
+
+    def test_invalid_sharing(self, small_sub_b4_instance):
+        with pytest.raises(ValueError):
+            solve_mincost(small_sub_b4_instance, sharing="magic")
+
+    def test_never_cheaper_than_maa_lp_bound(self, small_sub_b4_instance):
+        mincost = solve_mincost(small_sub_b4_instance)
+        maa = solve_maa(small_sub_b4_instance, rng=0)
+        assert mincost.cost >= maa.fractional_cost - 1e-6

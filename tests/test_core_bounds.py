@@ -1,0 +1,80 @@
+"""Tests for repro.core.bounds — the theorems checked empirically."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    ceiling_ratio_bound,
+    maa_bound_report,
+    maa_ratio_bound,
+    taa_certificate,
+)
+from repro.core.maa import solve_maa
+from repro.core.taa import solve_taa
+
+
+class TestCeilingRatioBound:
+    def test_formula(self):
+        assert ceiling_ratio_bound(1.0) == 2.0
+        assert ceiling_ratio_bound(4.0) == 1.25
+
+    def test_degenerate_alpha(self):
+        assert ceiling_ratio_bound(0.0) == math.inf
+        assert ceiling_ratio_bound(-1.0) == math.inf
+
+    def test_monotone_decreasing_in_alpha(self):
+        assert ceiling_ratio_bound(0.5) > ceiling_ratio_bound(2.0)
+
+
+class TestMaaRatioBound:
+    def test_small_edge_counts_degenerate_gracefully(self):
+        assert maa_ratio_bound(1.0, 1) == pytest.approx(2.0)
+        assert maa_ratio_bound(1.0, 2) == pytest.approx(2.0)
+
+    def test_grows_with_edges(self):
+        assert maa_ratio_bound(1.0, 1000) > maa_ratio_bound(1.0, 10)
+
+    def test_bad_edges(self):
+        with pytest.raises(ValueError):
+            maa_ratio_bound(1.0, 0)
+
+
+class TestMaaBoundReport:
+    def test_observed_within_bound_on_real_instance(self, small_sub_b4_instance):
+        result = solve_maa(small_sub_b4_instance, rng=0)
+        report = maa_bound_report(result, small_sub_b4_instance.num_edges)
+        assert report.observed_ratio >= 1.0 - 1e-9
+        assert report.ceiling_bound >= 1.0
+        assert report.combined_bound >= report.ceiling_bound
+        # Theorem 4 is a w.h.p. statement against a generous bound; a small
+        # instance with tiny alpha has a huge bound, so this must hold.
+        assert report.within_bound
+
+    def test_zero_cost_instance(self, small_sub_b4_instance):
+        result = solve_maa(small_sub_b4_instance, rng=0)
+        report = maa_bound_report(
+            type(result)(
+                schedule=result.schedule,
+                fractional_cost=0.0,
+                fractional_weights=result.fractional_weights,
+                alpha=result.alpha,
+            ),
+            small_sub_b4_instance.num_edges,
+        )
+        assert report.observed_ratio == 1.0
+
+
+class TestTaaCertificate:
+    def test_certificate_on_real_instance(self, small_sub_b4_instance):
+        caps = {key: 3 for key in small_sub_b4_instance.edges}
+        result = solve_taa(small_sub_b4_instance, caps)
+        cert = taa_certificate(result)
+        assert cert.floor_respected
+        assert 0.0 <= cert.gap_to_relaxation <= 1.0 + 1e-9
+
+    def test_uncertified_run_trivially_respected(self, small_sub_b4_instance):
+        caps = {key: 1 for key in small_sub_b4_instance.edges}
+        result = solve_taa(small_sub_b4_instance, caps)
+        cert = taa_certificate(result)
+        assert cert.floor_respected  # floor is 0 or the run is certified

@@ -1,0 +1,128 @@
+"""Tests for repro.core.chernoff — bounds, inversions and mu selection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chernoff import (
+    chernoff_lower_bound,
+    chernoff_upper_bound,
+    invert_lower_bound,
+    invert_upper_bound,
+    log_chernoff_upper_bound,
+    select_mu,
+)
+from repro.exceptions import AlgorithmError
+
+positive_m = st.floats(min_value=0.1, max_value=200, allow_nan=False)
+probabilities = st.floats(min_value=1e-6, max_value=0.999, allow_nan=False)
+
+
+class TestBounds:
+    def test_upper_bound_at_zero_deviation(self):
+        assert chernoff_upper_bound(5.0, 0.0) == pytest.approx(1.0)
+
+    def test_lower_bound_at_zero_deviation(self):
+        assert chernoff_lower_bound(5.0, 0.0) == pytest.approx(1.0)
+
+    def test_lower_bound_limit_at_full_deviation(self):
+        assert chernoff_lower_bound(3.0, 1.0) == pytest.approx(math.exp(-3.0))
+
+    def test_bounds_in_unit_interval(self):
+        for delta in (0.1, 1.0, 5.0):
+            assert 0 < chernoff_upper_bound(2.0, delta) <= 1
+        for gamma in (0.1, 0.5, 1.0):
+            assert 0 < chernoff_lower_bound(2.0, gamma) <= 1
+
+    @given(positive_m, st.floats(min_value=0.01, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_upper_bound_decreasing_in_delta(self, m, delta):
+        assert log_chernoff_upper_bound(m, delta + 0.5) < log_chernoff_upper_bound(
+            m, delta
+        )
+
+    @given(positive_m, st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_decreasing_in_gamma(self, m, gamma):
+        assert chernoff_lower_bound(m, gamma + 0.05) < chernoff_lower_bound(m, gamma)
+
+    def test_empirical_validity_of_upper_bound(self):
+        """Chernoff bound actually bounds the tail of a Bernoulli sum."""
+        rng = np.random.default_rng(0)
+        n, p = 200, 0.3
+        m = n * p
+        delta = 0.4
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = np.mean(samples > (1 + delta) * m)
+        assert empirical <= chernoff_upper_bound(m, delta)
+
+    def test_empirical_validity_of_lower_bound(self):
+        rng = np.random.default_rng(1)
+        n, p = 200, 0.3
+        m = n * p
+        gamma = 0.4
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = np.mean(samples < (1 - gamma) * m)
+        assert empirical <= chernoff_lower_bound(m, gamma)
+
+
+class TestInversions:
+    @given(positive_m, probabilities)
+    @settings(max_examples=60, deadline=None)
+    def test_upper_inversion_round_trip(self, m, x):
+        delta = invert_upper_bound(m, x)
+        assert chernoff_upper_bound(m, delta) == pytest.approx(x, rel=1e-6)
+
+    @given(positive_m, probabilities)
+    @settings(max_examples=60, deadline=None)
+    def test_lower_inversion_round_trip_or_saturates(self, m, x):
+        gamma = invert_lower_bound(m, x)
+        assert 0 < gamma <= 1.0
+        if gamma < 1.0:
+            assert chernoff_lower_bound(m, gamma) == pytest.approx(x, rel=1e-6)
+        else:
+            assert math.exp(-m) > x, "saturation only when even gamma=1 is too weak"
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            invert_upper_bound(0.0, 0.5)
+        with pytest.raises(ValueError):
+            invert_upper_bound(1.0, 1.5)
+        with pytest.raises(ValueError):
+            invert_lower_bound(1.0, 0.0)
+
+
+class TestSelectMu:
+    def test_satisfies_inequality_six(self):
+        c, t, n = 20.0, 12, 38
+        mu = select_mu(c, t, n)
+        bound = chernoff_upper_bound(mu * c, (1 - mu) / mu)
+        assert bound < 1.0 / (t * (n + 1))
+
+    def test_near_maximal(self):
+        """A slightly larger mu (beyond the safety margin) must fail (6)."""
+        c, t, n = 20.0, 12, 38
+        mu = select_mu(c, t, n, safety=0.999)
+        larger = min(mu / 0.999 * 1.05, 1 - 1e-9)
+        bound = chernoff_upper_bound(larger * c, (1 - larger) / larger)
+        assert bound >= 1.0 / (t * (n + 1)) or larger >= 1 - 1e-6
+
+    def test_mu_increases_with_capacity(self):
+        small = select_mu(2.0, 12, 38)
+        large = select_mu(50.0, 12, 38)
+        assert large > small
+
+    def test_tiny_capacity_raises(self):
+        with pytest.raises(AlgorithmError):
+            select_mu(1e-9, 12, 38)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            select_mu(1.0, 0, 38)
+        with pytest.raises(ValueError):
+            select_mu(-1.0, 12, 38)
+        with pytest.raises(ValueError):
+            select_mu(1.0, 12, 38, safety=1.5)

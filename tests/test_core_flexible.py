@@ -1,0 +1,89 @@
+"""Tests for repro.core.flexible — slideable-window SPM."""
+
+import pytest
+
+from repro.baselines.opt import solve_opt_spm
+from repro.core.flexible import flexibility_gain, solve_flexible_spm
+from repro.core.instance import SPMInstance
+from repro.exceptions import WorkloadError
+from repro.sim.validator import validate_schedule
+from repro.workload.request import RequestSet
+
+from tests.conftest import make_request
+
+
+@pytest.fixture
+def peak_pair(diamond):
+    """Two rate-0.6 requests forced onto the same slot unless one slides.
+
+    Together at slot 0 they need 2 units on each cheap link (cost 4);
+    serialized over slots 0 and 1 they share 1 unit (cost 2).
+    """
+    requests = RequestSet(
+        [
+            make_request(0, start=0, end=0, rate=0.6, value=3.0),
+            make_request(1, start=0, end=0, rate=0.6, value=3.0),
+        ],
+        num_slots=3,
+    )
+    return SPMInstance.build(diamond, requests, k_paths=2)
+
+
+class TestSolveFlexibleSpm:
+    def test_zero_slack_equals_opt_spm(self, small_sub_b4_instance):
+        flexible = solve_flexible_spm(small_sub_b4_instance, 0)
+        exact = solve_opt_spm(small_sub_b4_instance)
+        assert flexible.profit == pytest.approx(exact.profit, abs=1e-6)
+        assert flexible.num_shifted == 0
+
+    def test_slack_depeaks_the_pair(self, peak_pair):
+        rigid = solve_flexible_spm(peak_pair, 0)
+        flexible = solve_flexible_spm(peak_pair, 1)
+        assert rigid.profit == pytest.approx(6.0 - 4.0)
+        assert flexible.profit == pytest.approx(6.0 - 2.0)
+        assert flexible.num_shifted == 1
+
+    def test_offsets_respect_cycle_end(self, peak_pair):
+        # Slack beyond the cycle cannot push windows outside it.
+        result = solve_flexible_spm(peak_pair, 99)
+        for request_id, offset in result.offsets.items():
+            req = peak_pair.request(request_id)
+            assert req.end + offset < peak_pair.num_slots
+
+    def test_schedule_validates(self, small_sub_b4_instance):
+        result = solve_flexible_spm(small_sub_b4_instance, 2)
+        assert validate_schedule(result.schedule).ok
+
+    def test_objective_matches_schedule_profit(self, small_sub_b4_instance):
+        result = solve_flexible_spm(small_sub_b4_instance, 1)
+        assert result.objective == pytest.approx(result.profit, abs=1e-6)
+
+    def test_per_request_slack_map(self, peak_pair):
+        # Only request 1 may slide.
+        result = solve_flexible_spm(peak_pair, {0: 0, 1: 1})
+        assert result.profit == pytest.approx(4.0)
+        assert result.offsets.get(0, 0) == 0
+
+    def test_negative_slack_rejected(self, peak_pair):
+        with pytest.raises(WorkloadError):
+            solve_flexible_spm(peak_pair, -1)
+        with pytest.raises(WorkloadError):
+            solve_flexible_spm(peak_pair, {0: -2, 1: 0})
+
+
+class TestFlexibilityGain:
+    def test_profit_monotone_in_slack(self, small_sub_b4_instance):
+        curve = flexibility_gain(small_sub_b4_instance, (0, 1, 2))
+        profits = [profit for _, profit, _ in curve]
+        assert profits == sorted(profits), (
+            "more scheduling freedom can never lower the exact optimum"
+        )
+
+    def test_curve_shape(self, peak_pair):
+        curve = flexibility_gain(peak_pair, (0, 1))
+        assert curve[0][0] == 0 and curve[1][0] == 1
+        assert curve[1][1] > curve[0][1]
+
+    def test_bad_levels(self, peak_pair):
+        with pytest.raises(WorkloadError):
+            flexibility_gain(peak_pair, (0, -1))

@@ -1,0 +1,77 @@
+"""Tests for the SUBSET-SUM -> SPM reduction (Theorem 1)."""
+
+import pytest
+
+from repro.baselines.opt import solve_opt_spm
+from repro.core.hardness import (
+    reduction_sigma,
+    spm_from_subset_sum,
+    subset_from_solution,
+)
+
+
+class TestConstruction:
+    def test_instance_shape(self):
+        instance, sigma = spm_from_subset_sum([3, 4, 5], target=7)
+        assert instance.num_requests == 3
+        assert instance.num_slots == 1
+        assert 0 < sigma < 2 - 12 / 7
+
+    def test_rates_and_values_scaled(self):
+        instance, _ = spm_from_subset_sum([3, 4], target=5)
+        req = instance.request(0)
+        assert req.rate == pytest.approx(3 / 5)
+        assert req.value == pytest.approx(3 / 5)
+
+    def test_normalization_enforced(self):
+        with pytest.raises(ValueError, match="target < sum"):
+            spm_from_subset_sum([1, 1], target=5)  # sum <= target
+        with pytest.raises(ValueError, match="target < sum"):
+            spm_from_subset_sum([10, 10], target=5)  # sum >= 2*target
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            spm_from_subset_sum([], target=1)
+        with pytest.raises(ValueError):
+            spm_from_subset_sum([0, 3], target=2)
+        with pytest.raises(ValueError):
+            spm_from_subset_sum([3, 4], target=0)
+        with pytest.raises(ValueError):
+            spm_from_subset_sum([3, 4], target=5, sigma=0.9)
+
+    def test_reduction_sigma_threshold(self):
+        sigma = reduction_sigma([3, 4], target=5)
+        assert 0 < sigma < 2 - 7 / 5
+
+
+class TestReductionCorrectness:
+    def test_yes_instance_reaches_sigma(self):
+        # {3, 4, 5} with target 7: subset {3, 4} sums to 7 -> yes.
+        instance, sigma = spm_from_subset_sum([3, 4, 5], target=7)
+        result = solve_opt_spm(instance)
+        assert result.schedule.profit == pytest.approx(sigma, abs=1e-9)
+        subset = subset_from_solution(instance, result.schedule, 7)
+        values = [3, 4, 5]
+        assert sum(values[i] for i in subset) == 7
+
+    def test_no_instance_stays_below_sigma(self):
+        # {4, 5} with target 6: no subset sums to 6 (4, 5, 9 all miss).
+        instance, sigma = spm_from_subset_sum([4, 5], target=6)
+        result = solve_opt_spm(instance)
+        assert result.schedule.profit < sigma - 1e-9
+
+    @pytest.mark.parametrize(
+        "values,target,expected_yes",
+        [
+            ([2, 3, 4], 5, True),   # 2+3
+            ([2, 3, 4], 6, True),   # 2+4
+            ([3, 5, 6], 8, True),   # 3+5
+            ([4, 6], 7, False),
+            ([5, 6, 7], 10, False),
+        ],
+    )
+    def test_decision_matches_brute_force(self, values, target, expected_yes):
+        instance, sigma = spm_from_subset_sum(values, target=target)
+        result = solve_opt_spm(instance)
+        is_yes = result.schedule.profit >= sigma - 1e-9
+        assert is_yes == expected_yes

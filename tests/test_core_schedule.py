@@ -1,0 +1,103 @@
+"""Tests for repro.core.schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.exceptions import CapacityViolationError, ScheduleError
+from repro.workload.request import RequestSet
+
+from tests.conftest import make_request
+
+
+class TestConstruction:
+    def test_missing_request_rejected(self, diamond_instance):
+        with pytest.raises(ScheduleError, match="missing"):
+            Schedule(diamond_instance, {0: 0})
+
+    def test_unknown_request_rejected(self, diamond_instance):
+        with pytest.raises(ScheduleError, match="unknown"):
+            Schedule(diamond_instance, {0: 0, 1: 0, 2: 0, 99: 0})
+
+    def test_path_index_out_of_range(self, diamond_instance):
+        with pytest.raises(ScheduleError, match="out of range"):
+            Schedule(diamond_instance, {0: 9, 1: 0, 2: 0})
+
+    def test_explicit_charged_must_cover_loads(self, diamond_instance):
+        zero = {key: 0 for key in diamond_instance.edges}
+        with pytest.raises(CapacityViolationError):
+            Schedule(diamond_instance, {0: 0, 1: 0, 2: 0}, charged=zero)
+
+
+class TestCharging:
+    def test_charge_is_ceiling_of_peak(self, diamond, diamond_requests):
+        inst = SPMInstance.build(diamond, diamond_requests, k_paths=1)
+        # All three requests ride the cheap path A->B->D; at slot 1 requests
+        # 0 (0.6) and 1 (0.6) and 2 (0.3) overlap: peak 1.5 -> 2 units.
+        schedule = Schedule(inst, {0: 0, 1: 0, 2: 0})
+        ab = inst.edge_index[("A", "B")]
+        assert schedule.loads[ab, 1] == pytest.approx(1.5)
+        assert schedule.charged[("A", "B")] == 2
+
+    def test_near_integer_load_not_overcharged(self, diamond):
+        # Ten requests of rate 0.1 stack to 1.0000000...; must charge 1, not 2.
+        requests = RequestSet(
+            [make_request(i, rate=0.1, value=1.0) for i in range(10)],
+            num_slots=1,
+        )
+        inst = SPMInstance.build(diamond, requests, k_paths=1)
+        schedule = Schedule(inst, {i: 0 for i in range(10)})
+        assert schedule.charged[("A", "B")] == 1
+
+    def test_unused_edges_charged_zero(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        assert schedule.charged[("A", "C")] == 0
+
+
+class TestAccounting:
+    def test_revenue_cost_profit(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: None, 2: 0})
+        assert schedule.revenue == pytest.approx(3.0 + 1.0)
+        # Requests 0 (rate .6) and 2 (rate .3) overlap at slots 0-1: peak 0.9
+        # -> 1 unit on each of A->B (price 1) and B->D (price 1).
+        assert schedule.cost == pytest.approx(2.0)
+        assert schedule.profit == pytest.approx(2.0)
+        assert schedule.num_accepted == 2
+        assert schedule.declined_ids == [1]
+
+    def test_empty_schedule(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: None, 1: None, 2: None})
+        assert schedule.revenue == 0.0
+        assert schedule.cost == 0.0
+        assert schedule.profit == 0.0
+
+
+class TestCapacitiesAndUtilization:
+    def test_check_capacities_passes_within(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        caps = {key: 5 for key in diamond_instance.edges}
+        schedule.check_capacities(caps)  # no raise
+
+    def test_check_capacities_detects_violation(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        caps = {key: 0 for key in diamond_instance.edges}
+        with pytest.raises(CapacityViolationError):
+            schedule.check_capacities(caps)
+
+    def test_none_capacity_is_unlimited(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        schedule.check_capacities({key: None for key in diamond_instance.edges})
+
+    def test_utilization_only_charged_edges(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: None, 2: None})
+        stats = schedule.utilization()
+        assert set(stats.per_edge) == {("A", "B"), ("B", "D")}
+        # rate 0.6 for 2 of 4 slots over 1 unit -> mean load 0.3.
+        assert stats.mean == pytest.approx(0.3)
+        assert stats.max == pytest.approx(0.3)
+
+    def test_utilization_empty(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: None, 1: None, 2: None})
+        stats = schedule.utilization()
+        assert stats.mean == 0.0 and stats.max == 0.0 and stats.min == 0.0

@@ -1,0 +1,44 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+Only the examples that finish in seconds are exercised here; the heavier
+studies (profit_study_b4, capacity_planning, risk_analysis,
+online_bidding, deadline_flexibility) are exercised piecewise by the unit
+suites of the APIs they call.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["custom_topology.py", "np_hardness_demo.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate their output"
+
+
+def test_all_examples_present():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    expected = {
+        "quickstart.py",
+        "profit_study_b4.py",
+        "capacity_planning.py",
+        "custom_topology.py",
+        "online_bidding.py",
+        "np_hardness_demo.py",
+        "risk_analysis.py",
+        "deadline_flexibility.py",
+    }
+    assert expected <= scripts

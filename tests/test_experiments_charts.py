@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.charts."""
+
+import pytest
+
+from repro.experiments.charts import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes_use_extreme_blocks(self):
+        text = sparkline([0, 10])
+        assert text[0] == "▁"
+        assert text[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_is_nondecreasing(self):
+        blocks = "▁▂▃▄▅▆▇█"
+        text = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        indices = [blocks.index(ch) for ch in text]
+        assert indices == sorted(indices)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, float("nan")])
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = line_chart(
+            [1, 2, 3],
+            {"metis": [1.0, 2.0, 3.0], "ecoflow": [1.0, 1.5, 1.8]},
+            width=20,
+            height=6,
+        )
+        assert "o=metis" in text
+        assert "x=ecoflow" in text
+        assert "o" in text and "x" in text
+
+    def test_y_labels_are_extremes(self):
+        text = line_chart([0, 1], {"s": [2.0, 8.0]}, width=10, height=4)
+        assert "8" in text and "2" in text
+
+    def test_title(self):
+        text = line_chart([0, 1], {"s": [0.0, 1.0]}, title="Fig X")
+        assert text.splitlines()[0] == "Fig X"
+
+    def test_nan_points_skipped(self):
+        text = line_chart([0, 1, 2], {"s": [1.0, float("nan"), 2.0]})
+        assert "s" in text  # renders without error
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            line_chart([1], {})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [float("nan")]})
+
+    def test_flat_series_ok(self):
+        text = line_chart([0, 1], {"s": [3.0, 3.0]})
+        assert "s" in text

@@ -1,0 +1,60 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.requests is None
+        assert args.seed == 2019
+        assert args.roundings == 1000
+
+    def test_request_sweep(self):
+        args = build_parser().parse_args(["fig5", "--requests", "10", "20"])
+        assert args.requests == [10, 20]
+
+
+class TestMain:
+    def test_fig3_no_opt_smoke(self, capsys):
+        code = main(
+            ["fig3", "--requests", "12", "--theta", "2", "--no-opt", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "Metis" in out
+
+    def test_fig4b_smoke(self, capsys):
+        code = main(
+            ["fig4b", "--requests", "10", "--roundings", "5", "--seed", "1"]
+        )
+        assert code == 0
+        assert "ratio_mean" in capsys.readouterr().out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        report = tmp_path / "out.md"
+        code = main(
+            [
+                "fig3",
+                "--requests",
+                "10",
+                "--theta",
+                "2",
+                "--no-opt",
+                "--output",
+                str(report),
+            ]
+        )
+        assert code == 0
+        assert report.exists()
+        assert "## fig3" in report.read_text()

@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.common."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    make_instance,
+    make_topology,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.topology == "b4"
+        assert cfg.num_slots == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="b5")
+        with pytest.raises(ValueError):
+            ExperimentConfig(request_counts=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(request_counts=(0,))
+
+
+class TestMakeInstance:
+    def test_topologies(self):
+        assert make_topology("b4").num_datacenters == 12
+        assert make_topology("sub-b4").num_datacenters == 6
+        with pytest.raises(ValueError):
+            make_topology("nope")
+
+    def test_instance_size(self):
+        cfg = ExperimentConfig(topology="sub-b4", request_counts=(10,))
+        inst = make_instance(cfg, 10)
+        assert inst.num_requests == 10
+        assert inst.num_slots == 12
+
+    def test_deterministic_per_seed(self):
+        cfg = ExperimentConfig(topology="sub-b4", seed=5)
+        a = make_instance(cfg, 8)
+        b = make_instance(cfg, 8)
+        for ra, rb in zip(a.requests, b.requests):
+            assert ra.rate == rb.rate and ra.value == rb.value
+
+    def test_sweep_points_draw_independent_workloads(self):
+        cfg = ExperimentConfig(topology="sub-b4", seed=5)
+        a = make_instance(cfg, 8)
+        b = make_instance(cfg, 9)
+        assert any(
+            ra.rate != rb.rate for ra, rb in zip(a.requests, b.requests)
+        )
+
+
+class TestExperimentResult:
+    def make_result(self):
+        return ExperimentResult(
+            experiment="demo",
+            description="a demo",
+            headers=["k", "solution", "profit"],
+            rows=[[10, "a", 1.0], [10, "b", 2.0], [20, "a", 3.0]],
+        )
+
+    def test_to_table_contains_values(self):
+        text = self.make_result().to_table()
+        assert "demo" in text and "profit" in text and "2.000" in text
+
+    def test_column(self):
+        assert self.make_result().column("profit") == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            self.make_result().column("missing")
+
+    def test_filtered(self):
+        rows = self.make_result().filtered(k=10, solution="b")
+        assert rows == [[10, "b", 2.0]]
+
+    def test_notes_rendered(self):
+        result = self.make_result()
+        result.notes.append("timed out")
+        assert "note: timed out" in result.to_table()

@@ -1,0 +1,128 @@
+"""Smoke + shape tests for the figure experiments at reduced scale.
+
+Each experiment runs on a small sweep so the suite stays fast; shape
+assertions check the *relationships* the paper's figures rely on, not
+absolute values.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4cd
+from repro.experiments.fig5 import run_fig5
+from repro.workload.value_models import FlatRateValueModel, PriceAwareValueModel
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    cfg = ExperimentConfig(
+        topology="sub-b4",
+        request_counts=(40,),
+        theta=10,
+        maa_rounds=2,
+        time_limit=120.0,
+        value_model=FlatRateValueModel(0.6),
+    )
+    return run_fig3(cfg)
+
+
+class TestFig3:
+    def test_rows_per_solution(self, fig3_result):
+        solutions = fig3_result.column("solution")
+        assert solutions.count("Metis") == 1
+        assert solutions.count("OPT(SPM)") == 1
+        assert solutions.count("OPT(RL-SPM)") == 1
+
+    def test_opt_dominates(self, fig3_result):
+        by_solution = {
+            row[1]: row for row in fig3_result.rows if not math.isnan(row[2])
+        }
+        opt = by_solution["OPT(SPM)"]
+        metis = by_solution["Metis"]
+        rl = by_solution["OPT(RL-SPM)"]
+        assert opt[2] >= metis[2] - 1e-6, "OPT(SPM) has the best profit"
+        assert opt[2] >= rl[2] - 1e-6
+
+    def test_rl_spm_accepts_all(self, fig3_result):
+        rl = next(r for r in fig3_result.rows if r[1] == "OPT(RL-SPM)")
+        assert rl[3] == rl[0], "OPT(RL-SPM) accepts every request"
+
+    def test_no_opt_mode(self):
+        cfg = ExperimentConfig(
+            topology="sub-b4", request_counts=(15,), theta=3, maa_rounds=1
+        )
+        result = run_fig3(cfg, include_opt=False)
+        assert all(row[1] == "Metis" for row in result.rows)
+
+
+class TestFig4a:
+    def test_shape(self):
+        cfg = ExperimentConfig(
+            topology="b4", request_counts=(120,), max_duration=None
+        )
+        result = run_fig4a(cfg)
+        row = result.rows[0]
+        maa_cost, mincost_cost, ratio, lp_bound = row[1], row[2], row[3], row[4]
+        assert maa_cost >= lp_bound - 1e-6, "LP lower-bounds the rounded cost"
+        assert ratio == pytest.approx(mincost_cost / maa_cost)
+
+
+class TestFig4b:
+    def test_ratios_bounded(self):
+        cfg = ExperimentConfig(
+            topology="sub-b4", request_counts=(25,), time_limit=120.0
+        )
+        result = run_fig4b(cfg, num_roundings=40)
+        for row in result.rows:
+            mean, p95, mx, mn = row[2], row[3], row[4], row[5]
+            assert 1.0 - 1e-9 <= mn <= mean <= mx
+            assert p95 <= mx
+            assert mx < 3.0, "rounding should stay within a small factor"
+
+    def test_bad_roundings(self):
+        with pytest.raises(ValueError):
+            run_fig4b(num_roundings=0)
+
+
+class TestFig4cd:
+    def test_contended_regime_shape(self):
+        cfg = ExperimentConfig(
+            topology="b4",
+            request_counts=(600,),
+            max_duration=None,
+            value_model=PriceAwareValueModel(markup=1.5, noise=0.9),
+        )
+        result = run_fig4cd(cfg)
+        row = result.rows[0]
+        taa_rev, amoeba_rev, taa_acc, amoeba_acc, lp = (
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+        )
+        assert taa_rev <= lp + 1e-6, "LP upper-bounds TAA revenue"
+        assert taa_rev >= 0.9 * amoeba_rev, (
+            "TAA should be at least competitive with first-fit"
+        )
+        assert 0 < taa_acc <= 600 and 0 < amoeba_acc <= 600
+
+
+class TestFig5:
+    def test_shape(self):
+        cfg = ExperimentConfig(
+            topology="b4", request_counts=(200,), theta=12, maa_rounds=2
+        )
+        result = run_fig5(cfg)
+        row = result.rows[0]
+        metis_profit, eco_profit = row[1], row[2]
+        metis_accepted, eco_accepted = row[3], row[4]
+        assert metis_profit >= 0.9 * eco_profit, (
+            "Metis should not lose badly to the greedy at this scale"
+        )
+        assert metis_accepted >= eco_accepted, (
+            "paper: EcoFlow declines more requests than Metis"
+        )

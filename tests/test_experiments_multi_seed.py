@@ -1,0 +1,122 @@
+"""Tests for repro.experiments.multi_seed."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.multi_seed import aggregate_over_seeds
+
+
+def fake_config(seed=0, **overrides):
+    params = {"topology": "sub-b4", "request_counts": (10,), "seed": seed}
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def make_runner(values_by_seed):
+    """A runner returning one row per sweep point with seed-keyed profits."""
+
+    def runner(config):
+        profit = values_by_seed[config.seed]
+        return ExperimentResult(
+            experiment="fake",
+            description="fake experiment",
+            headers=["requests", "solution", "profit"],
+            rows=[[k, "Metis", profit] for k in config.request_counts],
+        )
+
+    return runner
+
+
+class TestAggregateOverSeeds:
+    def test_mean_and_std(self):
+        runner = make_runner({1: 1.0, 2: 3.0})
+        result = aggregate_over_seeds(
+            runner, fake_config, seeds=(1, 2), request_counts=(10, 20)
+        )
+        assert result.headers == [
+            "requests",
+            "solution",
+            "profit_mean",
+            "profit_std",
+            "n_runs",
+        ]
+        first = result.rows[0]
+        assert first[:2] == [10, "Metis"]
+        assert first[2] == pytest.approx(2.0)
+        assert first[3] == pytest.approx(math.sqrt(2.0))
+        assert first[4] == 2
+
+    def test_single_seed_zero_std(self):
+        runner = make_runner({7: 5.0})
+        result = aggregate_over_seeds(runner, fake_config, seeds=(7,))
+        assert result.rows[0][3] == 0.0
+
+    def test_nan_rows_partially_aggregated(self):
+        def runner(config):
+            profit = float("nan") if config.seed == 2 else 4.0
+            return ExperimentResult(
+                experiment="fake",
+                description="",
+                headers=["requests", "solution", "profit"],
+                rows=[[10, "OPT", profit]],
+            )
+
+        result = aggregate_over_seeds(runner, fake_config, seeds=(1, 2, 3))
+        row = result.rows[0]
+        assert row[2] == pytest.approx(4.0)
+        assert row[4] == 2, "NaN runs drop out of the aggregate"
+
+    def test_requests_column_is_key_not_metric(self):
+        runner = make_runner({1: 1.0})
+        result = aggregate_over_seeds(
+            runner, fake_config, seeds=(1,), request_counts=(10, 20)
+        )
+        assert result.column("requests") == [10, 20]
+
+    def test_explicit_key_headers(self):
+        runner = make_runner({1: 1.0, 2: 2.0})
+        result = aggregate_over_seeds(
+            runner,
+            fake_config,
+            seeds=(1, 2),
+            key_headers=("requests", "solution"),
+        )
+        assert result.column("profit_mean") == [pytest.approx(1.5)]
+        with pytest.raises(ValueError, match="unknown key"):
+            aggregate_over_seeds(
+                runner, fake_config, seeds=(1,), key_headers=("ghost",)
+            )
+
+    def test_header_mismatch_rejected(self):
+        calls = {"n": 0}
+
+        def runner(config):
+            calls["n"] += 1
+            headers = ["a"] if calls["n"] == 1 else ["b"]
+            return ExperimentResult("x", "", headers, [[1.0]])
+
+        with pytest.raises(ValueError, match="headers"):
+            aggregate_over_seeds(runner, fake_config, seeds=(1, 2))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_over_seeds(make_runner({}), fake_config, seeds=())
+
+    def test_real_experiment_end_to_end(self):
+        from repro.experiments.fig5 import run_fig5
+
+        def factory(seed=0, **overrides):
+            return ExperimentConfig(
+                topology="b4",
+                request_counts=(25,),
+                seed=seed,
+                theta=3,
+                maa_rounds=1,
+                **overrides,
+            )
+
+        result = aggregate_over_seeds(run_fig5, factory, seeds=(1, 2))
+        assert "metis_profit_mean" in result.headers
+        assert result.rows and result.rows[0][-1] == 2

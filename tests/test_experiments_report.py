@@ -1,0 +1,104 @@
+"""Tests for repro.experiments.report."""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import (
+    chart_for_result,
+    render_results,
+    write_markdown_report,
+)
+
+
+def demo_results():
+    return [
+        ExperimentResult(
+            experiment="fig-x",
+            description="demo table",
+            headers=["k", "profit"],
+            rows=[[10, 1.5], [20, 2.5]],
+            notes=["half-size run"],
+        ),
+        ExperimentResult(
+            experiment="fig-y",
+            description="other table",
+            headers=["k", "cost"],
+            rows=[[10, 3.25]],
+        ),
+    ]
+
+
+class TestRenderResults:
+    def test_all_tables_present(self):
+        text = render_results(demo_results())
+        assert "fig-x" in text and "fig-y" in text
+        assert "demo table" in text and "other table" in text
+        assert "1.500" in text
+
+
+class TestChartForResult:
+    def test_long_format_pivots_per_solution(self):
+        result = ExperimentResult(
+            experiment="fig3",
+            description="",
+            headers=["requests", "solution", "profit"],
+            rows=[
+                [10, "Metis", 1.0],
+                [10, "OPT", 2.0],
+                [20, "Metis", 3.0],
+                [20, "OPT", 4.0],
+            ],
+        )
+        chart = chart_for_result(result)
+        assert chart is not None
+        assert "o=Metis" in chart and "x=OPT" in chart
+
+    def test_wide_format_uses_metric_columns(self):
+        result = ExperimentResult(
+            experiment="fig5",
+            description="",
+            headers=["requests", "metis_profit", "ecoflow_profit"],
+            rows=[[10, 1.0, 0.5], [20, 2.0, 1.5]],
+        )
+        chart = chart_for_result(result)
+        assert chart is not None
+        assert "metis_profit" in chart
+
+    def test_not_chartable(self):
+        result = ExperimentResult(
+            experiment="x",
+            description="",
+            headers=["tau", "profit"],
+            rows=[["a", 1.0]],
+        )
+        assert chart_for_result(result) is None
+
+    def test_single_point_not_chartable(self):
+        result = ExperimentResult(
+            experiment="x",
+            description="",
+            headers=["requests", "metis_profit"],
+            rows=[[10, 1.0]],
+        )
+        assert chart_for_result(result) is None
+
+    def test_render_results_with_charts(self):
+        result = ExperimentResult(
+            experiment="fig5",
+            description="demo",
+            headers=["requests", "metis_profit"],
+            rows=[[10, 1.0], [20, 2.0]],
+        )
+        text = render_results([result], charts=True)
+        assert "(chart)" in text
+
+
+class TestMarkdownReport:
+    def test_write_and_structure(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown_report(demo_results(), path, title="Run 1", preamble="intro")
+        text = path.read_text()
+        assert text.startswith("# Run 1")
+        assert "intro" in text
+        assert "## fig-x — demo table" in text
+        assert "| k | profit |" in text
+        assert "| 10 | 1.500 |" in text
+        assert "> note: half-size run" in text

@@ -1,0 +1,108 @@
+"""Hypothesis fuzzing of the persistence layers and malformed-input paths."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.net.serialization import topology_from_dict, topology_to_dict
+from repro.net.topologies import random_wan
+from repro.workload.request import Request, RequestSet
+from repro.workload.traces import requests_from_dicts, requests_to_dicts
+
+
+@st.composite
+def random_request_set(draw):
+    num_slots = draw(st.integers(min_value=1, max_value=12))
+    n = draw(st.integers(min_value=0, max_value=12))
+    requests = []
+    for i in range(n):
+        start = draw(st.integers(min_value=0, max_value=num_slots - 1))
+        end = draw(st.integers(min_value=start, max_value=num_slots - 1))
+        requests.append(
+            Request(
+                request_id=i,
+                source=f"DC{draw(st.integers(min_value=1, max_value=5))}",
+                dest=f"X{draw(st.integers(min_value=1, max_value=5))}",
+                start=start,
+                end=end,
+                rate=draw(
+                    st.floats(
+                        min_value=1e-3, max_value=10, allow_nan=False
+                    )
+                ),
+                value=draw(
+                    st.floats(min_value=0, max_value=100, allow_nan=False)
+                ),
+            )
+        )
+    return RequestSet(requests, num_slots)
+
+
+class TestTraceFuzz:
+    @given(random_request_set())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_everything(self, request_set):
+        payload = json.loads(json.dumps(requests_to_dicts(request_set)))
+        restored = requests_from_dicts(payload)
+        assert restored.num_slots == request_set.num_slots
+        assert len(restored) == len(request_set)
+        for a, b in zip(request_set, restored):
+            assert a.request_id == b.request_id
+            assert (a.start, a.end) == (b.start, b.end)
+            assert a.rate == pytest.approx(b.rate)
+            assert a.value == pytest.approx(b.value)
+
+    @given(random_request_set())
+    @settings(max_examples=20, deadline=None)
+    def test_total_value_invariant(self, request_set):
+        restored = requests_from_dicts(requests_to_dicts(request_set))
+        assert restored.total_value == pytest.approx(request_set.total_value)
+
+    def test_corrupted_fields_rejected(self):
+        request_set = RequestSet(
+            [
+                Request(
+                    request_id=0,
+                    source="A",
+                    dest="B",
+                    start=0,
+                    end=0,
+                    rate=0.5,
+                    value=1.0,
+                )
+            ],
+            num_slots=1,
+        )
+        payload = requests_to_dicts(request_set)
+        corrupted = json.loads(json.dumps(payload))
+        corrupted["requests"][0]["rate"] = -1.0
+        with pytest.raises(WorkloadError):
+            requests_from_dicts(corrupted)
+        corrupted = json.loads(json.dumps(payload))
+        corrupted["requests"][0]["end"] = 99
+        with pytest.raises(WorkloadError):
+            requests_from_dicts(corrupted)
+
+
+class TestTopologyFuzz:
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_wan_round_trip(self, n, extra, seed):
+        max_extra = n * (n - 1) // 2 - n
+        topo = random_wan(n, min(extra, max_extra), rng=seed)
+        payload = json.loads(json.dumps(topology_to_dict(topo)))
+        restored = topology_from_dict(payload)
+        assert restored.num_datacenters == topo.num_datacenters
+        assert restored.num_edges == topo.num_edges
+        for edge in topo.edges:
+            assert restored.price(str(edge.tail), str(edge.head)) == pytest.approx(
+                edge.weight
+            )
+        restored.validate()

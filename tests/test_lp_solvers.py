@@ -1,0 +1,127 @@
+"""Tests for repro.lp.solvers — LP and MILP solves on known problems."""
+
+import pytest
+
+from repro.lp.model import Model
+from repro.lp.result import SolveStatus
+
+
+class TestLinearPrograms:
+    def test_simple_maximization(self):
+        # max x + y  s.t. x + 2y <= 4, x <= 3  ->  x=3, y=0.5
+        m = Model()
+        x = m.add_var("x", 0, 3)
+        y = m.add_var("y")
+        m.add_constr(x + 2 * y <= 4)
+        m.set_objective(x + y, maximize=True)
+        sol = m.solve()
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(3.5)
+        assert sol[x] == pytest.approx(3.0)
+        assert sol[y] == pytest.approx(0.5)
+
+    def test_simple_minimization(self):
+        # min 2x + y  s.t. x + y >= 3, x >= 1  ->  x=1, y=2
+        m = Model()
+        x = m.add_var("x", 1)
+        y = m.add_var("y")
+        m.add_constr(x + y >= 3)
+        m.set_objective(2 * x + y, maximize=False)
+        sol = m.solve()
+        assert sol.objective == pytest.approx(4.0)
+
+    def test_equality_constraint(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_constr(x + y == 5)
+        m.set_objective(x - y, maximize=True)
+        sol = m.solve()
+        assert sol.objective == pytest.approx(5.0)
+        assert sol[x] == pytest.approx(5.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var("x", 0, 1)
+        m.add_constr(x >= 2)
+        m.set_objective(x + 0, maximize=True)
+        assert m.solve().status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var("x")
+        m.add_constr(x >= 0)
+        m.set_objective(x + 0, maximize=True)
+        assert m.solve().status is SolveStatus.UNBOUNDED
+
+    def test_objective_constant_included(self):
+        m = Model()
+        x = m.add_var("x", 0, 1)
+        m.set_objective(x + 10, maximize=True)
+        assert m.solve().objective == pytest.approx(11.0)
+
+    def test_value_of_expression(self):
+        m = Model()
+        x = m.add_var("x", 0, 2)
+        y = m.add_var("y", 0, 2)
+        m.set_objective(x + y, maximize=True)
+        sol = m.solve()
+        assert sol.value_of(x + 2 * y) == pytest.approx(6.0)
+        assert sol.value_of(x) == pytest.approx(2.0)
+
+
+class TestMixedIntegerPrograms:
+    def test_knapsack(self):
+        values = [10, 7, 4, 3]
+        weights = [5, 4, 3, 2]
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(4)]
+        m.add_constr(sum(w * x for w, x in zip(weights, xs)) <= 7)
+        m.set_objective(sum(v * x for v, x in zip(values, xs)), maximize=True)
+        sol = m.solve()
+        assert sol.objective == pytest.approx(13.0)
+        assert [sol[x] for x in xs] == [1, 0, 0, 1]
+
+    def test_integer_values_are_exact_ints(self):
+        m = Model()
+        x = m.add_var("x", 0, 10, is_integer=True)
+        m.add_constr(2 * x <= 7)
+        m.set_objective(x + 0, maximize=True)
+        sol = m.solve()
+        assert sol[x] == 3
+        assert float(sol[x]).is_integer()
+
+    def test_relaxation_differs_from_milp(self):
+        m = Model()
+        x = m.add_var("x", 0, 10, is_integer=True)
+        m.add_constr(2 * x <= 7)
+        m.set_objective(x + 0, maximize=True)
+        assert m.solve(relax_integrality=True).objective == pytest.approx(3.5)
+        assert m.solve().objective == pytest.approx(3.0)
+
+    def test_milp_infeasible(self):
+        m = Model()
+        x = m.add_var("x", 0, 1, is_integer=True)
+        m.add_constr(2 * x == 1)  # x would need to be 0.5
+        m.set_objective(x + 0, maximize=True)
+        assert m.solve().status is SolveStatus.INFEASIBLE
+
+    def test_mixed_continuous_integer(self):
+        # max 2i + c  s.t. i + c <= 2.5, c <= 1  ->  i=2 (int), c=0.5
+        m = Model()
+        i = m.add_var("i", 0, 5, is_integer=True)
+        c = m.add_var("c", 0, 1)
+        m.add_constr(i + c <= 2.5)
+        m.set_objective(2 * i + c, maximize=True)
+        sol = m.solve()
+        assert sol[i] == 2
+        assert sol[c] == pytest.approx(0.5)
+        assert sol.objective == pytest.approx(4.5)
+
+    def test_time_limit_accepted(self):
+        m = Model()
+        x = m.add_var("x", 0, 10, is_integer=True)
+        m.add_constr(x <= 5)
+        m.set_objective(x + 0, maximize=True)
+        sol = m.solve(time_limit=10.0)
+        assert sol.objective == pytest.approx(5.0)

@@ -1,0 +1,79 @@
+"""Coverage for the remaining branches: exception hierarchy, CLI ablation
+and chart paths, Metis feature flags, TAA's mu fallback."""
+
+import pytest
+
+from repro import exceptions as exc
+from repro.core.instance import SPMInstance
+from repro.core.metis import Metis
+from repro.core.taa import solve_taa
+from repro.experiments.cli import main
+from repro.workload.request import RequestSet
+
+from tests.conftest import make_request
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in exc.__all__:
+            klass = getattr(exc, name)
+            assert issubclass(klass, exc.ReproError)
+
+    def test_infeasible_is_solver_error(self):
+        assert issubclass(exc.InfeasibleError, exc.SolverError)
+        assert issubclass(exc.UnboundedError, exc.SolverError)
+
+    def test_not_found_errors_are_key_errors(self):
+        assert issubclass(exc.NodeNotFoundError, KeyError)
+        assert issubclass(exc.EdgeNotFoundError, KeyError)
+
+    def test_capacity_violation_is_schedule_error(self):
+        assert issubclass(exc.CapacityViolationError, exc.ScheduleError)
+
+
+class TestCliExtras:
+    def test_ablation_subcommand(self, capsys):
+        code = main(["ablation-k-paths"])
+        assert code == 0
+        assert "k_paths" in capsys.readouterr().out
+
+    def test_chart_flag(self, capsys):
+        code = main(
+            ["fig3", "--requests", "10", "20", "--theta", "2", "--no-opt", "--chart"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(chart)" in out
+        assert "o=Metis" in out
+
+
+class TestMetisFlags:
+    def test_prune_disabled(self, small_sub_b4_instance):
+        outcome = Metis(theta=2, maa_rounds=1, prune=False).solve(
+            small_sub_b4_instance, rng=0
+        )
+        assert outcome.best.profit >= 0.0
+        assert "prune" not in outcome.best.source
+
+    def test_local_search_disabled_never_cheaper(self, small_sub_b4_instance):
+        plain = Metis(theta=1, maa_rounds=1, local_search=False, prune=False)
+        polished = Metis(theta=1, maa_rounds=1, local_search=True, prune=False)
+        plain_out = plain.solve(small_sub_b4_instance, rng=3)
+        polished_out = polished.solve(small_sub_b4_instance, rng=3)
+        assert polished_out.best.profit >= plain_out.best.profit - 1e-9
+
+
+class TestTaaMuFallback:
+    def test_tiny_capacity_uses_fallback_mu(self, diamond):
+        # A single unit of capacity with max rate 1.0 -> normalized min
+        # capacity 1.0, for which inequality (6) admits no mu on this
+        # (T, N): solve_taa must fall back, not crash.
+        requests = RequestSet(
+            [make_request(i, rate=1.0, value=1.0, start=0, end=0) for i in range(2)],
+            num_slots=1,
+        )
+        inst = SPMInstance.build(diamond, requests, k_paths=2)
+        caps = {key: 1 for key in inst.edges}
+        result = solve_taa(inst, caps, fallback_mu=0.4)
+        result.schedule.check_capacities(caps)
+        assert result.mu == pytest.approx(0.4) or 0 < result.mu < 1

@@ -1,0 +1,67 @@
+"""Tests for repro.net.analysis."""
+
+import pytest
+
+from repro.net.analysis import (
+    cheapest_path_betweenness,
+    path_diversity,
+    topology_summary,
+)
+from repro.net.topologies import abilene, b4, line_topology, sub_b4
+
+
+class TestBetweenness:
+    def test_line_middle_edge_dominates(self):
+        topo = line_topology(4)
+        counts = cheapest_path_betweenness(topo)
+        # DC2-DC3 carries DC1/DC2 x DC3/DC4 traffic in each direction.
+        assert counts[("DC2", "DC3")] == 4
+        assert counts[("DC1", "DC2")] == 3
+
+    def test_total_equals_total_hops(self):
+        topo = sub_b4()
+        counts = cheapest_path_betweenness(topo)
+        assert sum(counts.values()) > 0
+        assert all(v >= 0 for v in counts.values())
+
+    def test_every_edge_key_present(self):
+        topo = b4()
+        counts = cheapest_path_betweenness(topo)
+        assert set(counts) == {e.key for e in topo.edges}
+
+
+class TestPathDiversity:
+    def test_line_has_single_path(self):
+        topo = line_topology(3)
+        assert path_diversity(topo, "DC1", "DC3") == 1
+
+    def test_diamond_has_two(self, diamond):
+        assert path_diversity(diamond, "A", "D") == 2
+
+    def test_all_b4_pairs_connected(self):
+        topo = b4()
+        for source in topo.datacenters:
+            for dest in topo.datacenters:
+                if source != dest:
+                    assert path_diversity(topo, source, dest) >= 1
+
+
+class TestTopologySummary:
+    def test_b4_summary(self):
+        summary = topology_summary(b4())
+        assert summary.num_datacenters == 12
+        assert summary.num_links == 19
+        assert summary.price_min == 1.0
+        assert summary.price_max == pytest.approx(6.5)
+        assert summary.price_spread == pytest.approx(6.5)
+        assert summary.hop_diameter >= 3
+
+    def test_abilene_uniform_prices(self):
+        summary = topology_summary(abilene())
+        assert summary.price_spread == pytest.approx(1.0)
+        assert summary.num_links == 14
+
+    def test_line_diversity_floor(self):
+        summary = topology_summary(line_topology(3))
+        assert summary.min_pair_diversity == 1
+        assert summary.hop_diameter == 2

@@ -1,0 +1,134 @@
+"""Tests for repro.net.graph."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.net.graph import DiGraph, Edge
+
+
+class TestEdge:
+    def test_key_and_reverse(self):
+        edge = Edge("a", "b", 2.0)
+        assert edge.key == ("a", "b")
+        assert edge.reversed() == Edge("b", "a", 2.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Edge("a", "a")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Edge("a", "b", -1.0)
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Edge("a", "b", float("nan"))
+
+
+class TestDiGraphConstruction:
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert g.nodes == ["x"]
+
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.5)
+        assert g.has_node("a") and g.has_node("b")
+        assert g.edge("a", "b").weight == 1.5
+
+    def test_edges_are_directed(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_duplicate_edge_rejected(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_edge("a", "b", 2.0)
+
+    def test_bidirectional(self):
+        g = DiGraph()
+        fwd, back = g.add_bidirectional("a", "b", 3.0)
+        assert fwd.key == ("a", "b") and back.key == ("b", "a")
+        assert g.num_edges == 2
+
+    def test_counts(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+
+class TestDiGraphAccess:
+    def test_missing_edge_raises(self):
+        g = DiGraph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(EdgeNotFoundError):
+            g.edge("a", "b")
+
+    def test_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            list(g.successors("ghost"))
+
+    def test_successors_predecessors(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("c", "b")
+        assert {e.head for e in g.successors("a")} == {"b", "c"}
+        assert {e.tail for e in g.predecessors("b")} == {"a", "c"}
+        assert g.out_degree("a") == 2
+        assert g.in_degree("b") == 2
+
+    def test_contains(self):
+        g = DiGraph()
+        g.add_node("a")
+        assert "a" in g
+        assert "b" not in g
+
+    def test_remove_edge(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge("a", "b")
+
+
+class TestDiGraphAlgorithms:
+    def test_copy_is_independent(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        h = g.copy()
+        h.add_edge("b", "a")
+        assert not g.has_edge("b", "a")
+
+    def test_subgraph_without_edges(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        h = g.subgraph_without_edges([("a", "b"), ("x", "y")])
+        assert not h.has_edge("a", "b")
+        assert h.has_edge("b", "c")
+
+    def test_strongly_connected_cycle(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert g.is_strongly_connected()
+
+    def test_not_strongly_connected_line(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert not g.is_strongly_connected()
+
+    def test_empty_graph_not_strongly_connected(self):
+        assert not DiGraph().is_strongly_connected()

@@ -1,0 +1,43 @@
+"""Tests for repro.net.pricing."""
+
+import pytest
+
+from repro.net.pricing import REGION_PRICES, link_price, region_price
+
+
+class TestRegionPrice:
+    def test_baseline_regions(self):
+        assert region_price("europe") == 1.0
+        assert region_price("north_america") == 1.0
+
+    def test_expensive_regions_above_baseline(self):
+        for region in ("asia", "latin_america", "oceania", "africa"):
+            assert region_price(region) > 1.0
+
+    def test_case_insensitive(self):
+        assert region_price("  Europe ") == 1.0
+        assert region_price("ASIA") == REGION_PRICES["asia"]
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError, match="known regions"):
+            region_price("atlantis")
+
+
+class TestLinkPrice:
+    def test_intra_region(self):
+        assert link_price("europe", "europe") == 1.0
+
+    def test_mean_of_endpoints(self):
+        expected = (REGION_PRICES["north_america"] + REGION_PRICES["asia"]) / 2
+        assert link_price("north_america", "asia") == expected
+
+    def test_symmetric(self):
+        assert link_price("asia", "europe") == link_price("europe", "asia")
+
+    def test_relative_ordering(self):
+        assert (
+            link_price("europe", "europe")
+            < link_price("europe", "asia")
+            < link_price("asia", "asia")
+            < link_price("oceania", "oceania")
+        )

@@ -1,0 +1,41 @@
+"""Tests for repro.net.serialization."""
+
+import json
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.net.serialization import topology_from_dict, topology_to_dict
+from repro.net.topologies import b4, sub_b4
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [b4, sub_b4])
+    def test_structure_preserved(self, builder):
+        original = builder()
+        original.set_capacity("DC1", "DC2", 7)
+        restored = topology_from_dict(topology_to_dict(original))
+        assert restored.name == original.name
+        assert restored.num_datacenters == original.num_datacenters
+        assert restored.num_edges == original.num_edges
+        for edge in original.edges:
+            assert restored.price(edge.tail, edge.head) == edge.weight
+            assert restored.capacity(edge.tail, edge.head) == original.capacity(
+                edge.tail, edge.head
+            )
+
+    def test_regions_preserved(self):
+        restored = topology_from_dict(topology_to_dict(b4()))
+        assert restored.region("DC9") == "asia"
+
+    def test_json_compatible(self):
+        payload = topology_to_dict(sub_b4())
+        text = json.dumps(payload)
+        restored = topology_from_dict(json.loads(text))
+        assert restored.num_edges == 14
+
+    def test_bad_version_rejected(self):
+        payload = topology_to_dict(sub_b4())
+        payload["format_version"] = 999
+        with pytest.raises(TopologyError, match="format version"):
+            topology_from_dict(payload)

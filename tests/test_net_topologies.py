@@ -1,0 +1,100 @@
+"""Tests for repro.net.topologies — including the paper's B4/SUB-B4 shapes."""
+
+import pytest
+
+from repro.net.pricing import REGION_PRICES
+from repro.net.topologies import (
+    B4_LINKS,
+    SUB_B4_LINKS,
+    b4,
+    line_topology,
+    random_wan,
+    star_topology,
+    sub_b4,
+)
+
+
+class TestB4:
+    def test_paper_dimensions(self):
+        topo = b4()
+        assert topo.num_datacenters == 12, "paper: 12 data centers"
+        assert topo.num_edges == 38, "paper: 19 bidirectional links"
+
+    def test_strongly_connected(self):
+        b4().validate()
+
+    def test_every_dc_has_region(self):
+        topo = b4()
+        assert all(topo.region(dc) is not None for dc in topo.datacenters)
+
+    def test_intercontinental_links_cost_more(self):
+        topo = b4()
+        assert topo.price("DC1", "DC2") == 1.0  # NA-NA
+        assert topo.price("DC1", "DC9") == pytest.approx(
+            (1.0 + REGION_PRICES["asia"]) / 2
+        )
+        assert topo.price("DC9", "DC10") == REGION_PRICES["asia"]
+
+
+class TestSubB4:
+    def test_paper_dimensions(self):
+        topo = sub_b4()
+        assert topo.num_datacenters == 6, "paper: DC1-DC6"
+        assert topo.num_edges == 14, "paper: 7 links"
+
+    def test_subset_of_b4(self):
+        assert set(SUB_B4_LINKS) <= set(B4_LINKS)
+
+    def test_strongly_connected(self):
+        sub_b4().validate()
+
+    def test_multipath_exists(self):
+        # The SPM model assumes several routing paths between DC pairs.
+        paths = sub_b4().candidate_paths("DC1", "DC4", k=3)
+        assert len(paths) >= 2
+
+
+class TestSyntheticTopologies:
+    def test_line(self):
+        topo = line_topology(4, price=2.0)
+        assert topo.num_datacenters == 4
+        assert topo.num_edges == 6
+        assert topo.price("DC1", "DC2") == 2.0
+
+    def test_line_too_short(self):
+        with pytest.raises(ValueError):
+            line_topology(1)
+
+    def test_star(self):
+        topo = star_topology(3)
+        assert topo.num_datacenters == 4
+        assert topo.num_edges == 6
+        assert topo.price("DC0", "DC2") == 1.0
+
+    def test_star_needs_leaf(self):
+        with pytest.raises(ValueError):
+            star_topology(0)
+
+    def test_random_wan_deterministic(self):
+        a = random_wan(6, 3, rng=5)
+        b = random_wan(6, 3, rng=5)
+        assert [e.key for e in a.edges] == [e.key for e in b.edges]
+        assert [e.weight for e in a.edges] == [e.weight for e in b.edges]
+
+    def test_random_wan_size(self):
+        topo = random_wan(6, 3, rng=1)
+        assert topo.num_datacenters == 6
+        assert topo.num_edges == 2 * (6 + 3)
+        topo.validate()
+
+    def test_random_wan_price_range(self):
+        topo = random_wan(5, 2, price_range=(2.0, 3.0), rng=0)
+        assert all(2.0 <= e.weight <= 3.0 for e in topo.edges)
+
+    def test_random_wan_bad_args(self):
+        with pytest.raises(ValueError):
+            random_wan(2, 0)
+        with pytest.raises(ValueError):
+            random_wan(5, 100)
+        with pytest.raises(ValueError):
+            random_wan(5, 1, price_range=(3.0, 2.0))

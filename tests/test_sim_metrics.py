@@ -1,0 +1,62 @@
+"""Tests for repro.sim.metrics."""
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ScheduleError
+from repro.sim.metrics import compare, evaluate_schedule
+
+
+class TestEvaluateSchedule:
+    def test_summary_fields(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: None, 2: 0})
+        metrics = evaluate_schedule("demo", schedule)
+        assert metrics.solution == "demo"
+        assert metrics.num_requests == 3
+        assert metrics.num_accepted == 2
+        assert metrics.revenue == pytest.approx(schedule.revenue)
+        assert metrics.profit == pytest.approx(schedule.profit)
+        assert metrics.acceptance_rate == pytest.approx(2 / 3)
+        assert metrics.total_bandwidth_units == sum(schedule.charged.values())
+
+    def test_validation_failure_raises(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        schedule.charged[("A", "B")] = 0  # tamper
+        with pytest.raises(ScheduleError, match="failed validation"):
+            evaluate_schedule("bad", schedule)
+        # But validation can be skipped explicitly.
+        metrics = evaluate_schedule("bad", schedule, validate=False)
+        assert metrics.solution == "bad"
+
+    def test_as_row_shape(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: None, 2: None})
+        row = evaluate_schedule("x", schedule).as_row()
+        assert row[0] == "x"
+        assert len(row) == 7
+
+
+class TestCompare:
+    def test_ratios(self, diamond_instance):
+        good = evaluate_schedule(
+            "good", Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        )
+        small = evaluate_schedule(
+            "small", Schedule(diamond_instance, {0: 0, 1: None, 2: None})
+        )
+        ratios = compare(good, small)
+        assert ratios["revenue_ratio"] == pytest.approx(
+            good.revenue / small.revenue
+        )
+        assert ratios["accepted_ratio"] == pytest.approx(3.0)
+
+    def test_zero_baseline_gives_inf(self, diamond_instance):
+        nothing = evaluate_schedule(
+            "none", Schedule(diamond_instance, {0: None, 1: None, 2: None})
+        )
+        something = evaluate_schedule(
+            "some", Schedule(diamond_instance, {0: 0, 1: None, 2: None})
+        )
+        ratios = compare(something, nothing)
+        assert ratios["revenue_ratio"] == float("inf")
+        # 0 over 0 reads as parity, not infinity.
+        assert compare(nothing, nothing)["revenue_ratio"] == 1.0

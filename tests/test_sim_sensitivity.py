@@ -1,0 +1,146 @@
+"""Tests for repro.sim.sensitivity."""
+
+import pytest
+
+from repro.core.instance import SPMInstance
+from repro.core.schedule import Schedule
+from repro.exceptions import EdgeNotFoundError
+from repro.sim.sensitivity import link_failure_impact, price_sensitivity
+from repro.workload.request import RequestSet
+
+from tests.conftest import make_request
+
+
+@pytest.fixture
+def committed(diamond):
+    """Two accepted requests: one on the cheap path, one on the expensive."""
+    requests = RequestSet(
+        [
+            make_request(0, start=0, end=1, rate=0.6, value=5.0),
+            make_request(1, start=0, end=1, rate=0.6, value=4.0),
+        ],
+        num_slots=2,
+    )
+    inst = SPMInstance.build(diamond, requests, k_paths=2)
+    return Schedule(inst, {0: 0, 1: 1})
+
+
+class TestPriceSensitivity:
+    def test_profit_linear_in_multiplier(self, committed):
+        points, _ = price_sensitivity(committed, multipliers=(0.0, 1.0, 2.0))
+        assert points[0].profit == pytest.approx(committed.revenue)
+        assert points[1].profit == pytest.approx(committed.profit)
+        assert points[2].profit == pytest.approx(
+            committed.revenue - 2 * committed.cost
+        )
+
+    def test_break_even(self, committed):
+        _, break_even = price_sensitivity(committed)
+        assert break_even == pytest.approx(committed.revenue / committed.cost)
+        points, _ = price_sensitivity(committed, multipliers=(break_even,))
+        assert points[0].profit == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_bandwidth_schedule(self, diamond_instance):
+        empty = Schedule(diamond_instance, {0: None, 1: None, 2: None})
+        points, break_even = price_sensitivity(empty, multipliers=(1.0, 5.0))
+        assert break_even is None
+        assert all(p.profit == 0.0 for p in points)
+
+    def test_negative_multiplier_rejected(self, committed):
+        with pytest.raises(ValueError):
+            price_sensitivity(committed, multipliers=(-1.0,))
+
+
+class TestLinkFailure:
+    def test_reroute_within_purchased(self, committed):
+        # Fail the expensive route; request 1 cannot fit on the cheap
+        # path's single purchased unit (0.6 + 0.6 > 1), so it is dropped.
+        report = link_failure_impact(committed, ("A", "C"))
+        assert report.affected_requests == [1]
+        assert report.dropped == [1]
+        assert report.revenue_lost == pytest.approx(4.0)
+        assert report.stranded_cost > 0
+
+    def test_reroute_with_new_purchases(self, committed):
+        report = link_failure_impact(
+            committed, ("A", "C"), allow_new_purchases=True
+        )
+        assert report.dropped == []
+        assert report.rerouted == {1: 0}
+        assert report.extra_units_bought > 0
+        # Revenue kept, but profit pays both the stranded and the new units.
+        assert report.new_profit < committed.profit
+
+    def test_unaffected_link(self, committed):
+        # Failing a link neither request uses changes nothing but strands
+        # nothing either (no units purchased there).
+        report = link_failure_impact(committed, ("C", "D")) if False else None
+        # C->D *is* used by request 1's path A->C->D; use B->... no spare
+        # link exists in the diamond, so instead verify the API contract on
+        # an unknown link.
+        with pytest.raises(EdgeNotFoundError):
+            link_failure_impact(committed, ("A", "Z"))
+
+    def test_failure_on_cheap_path_prefers_high_value(self, diamond):
+        # Three cheap-path requests, capacity for only one on the alternate
+        # route after failure: the highest bid must win the reroute.
+        requests = RequestSet(
+            [
+                make_request(0, start=0, end=0, rate=0.6, value=1.0),
+                make_request(1, start=0, end=0, rate=0.6, value=9.0),
+            ],
+            num_slots=1,
+        )
+        inst = SPMInstance.build(diamond, requests, k_paths=2)
+        schedule = Schedule(
+            inst,
+            {0: 0, 1: 0},
+            charged={
+                ("A", "B"): 2,
+                ("B", "D"): 2,
+                ("A", "C"): 1,
+                ("C", "D"): 1,
+            },
+        )
+        report = link_failure_impact(schedule, ("A", "B"))
+        assert report.rerouted == {1: 1}, "highest bid rerouted first"
+        assert report.dropped == [0]
+
+    def test_new_profit_accounting(self, committed):
+        report = link_failure_impact(committed, ("A", "C"))
+        expected = committed.revenue - report.revenue_lost - committed.cost
+        assert report.new_profit == pytest.approx(expected)
+
+    def test_repurchase_never_worse_than_strict(self, small_sub_b4_instance):
+        from repro.core.maa import solve_maa
+
+        schedule = solve_maa(small_sub_b4_instance, rng=0).schedule
+        for key in list(schedule.charged):
+            if schedule.charged[key] == 0:
+                continue
+            strict = link_failure_impact(schedule, key)
+            flexible = link_failure_impact(schedule, key, allow_new_purchases=True)
+            assert flexible.new_profit >= strict.new_profit - 1e-9
+            assert set(flexible.dropped) <= set(strict.dropped) | set(
+                flexible.dropped
+            )
+
+    def test_repurchase_only_when_profitable(self, small_sub_b4_instance):
+        from repro.core.maa import solve_maa
+
+        schedule = solve_maa(small_sub_b4_instance, rng=0).schedule
+        for key in list(schedule.charged):
+            if schedule.charged[key] == 0:
+                continue
+            report = link_failure_impact(schedule, key, allow_new_purchases=True)
+            # Buying units is only allowed when it beats refunding, so the
+            # flexible profit never drops below "drop everything affected".
+            floor = (
+                schedule.revenue
+                - sum(
+                    small_sub_b4_instance.request(rid).value
+                    for rid in report.affected_requests
+                )
+                - schedule.cost
+            )
+            assert report.new_profit >= floor - 1e-9

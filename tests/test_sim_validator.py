@@ -1,0 +1,54 @@
+"""Tests for repro.sim.validator."""
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.sim.validator import validate_schedule
+
+
+class TestValidateSchedule:
+    def test_good_schedule_passes(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: None, 2: 1})
+        report = validate_schedule(schedule)
+        assert report.ok
+        assert report.revenue == pytest.approx(schedule.revenue)
+        assert report.cost == pytest.approx(schedule.cost)
+        assert report.profit == pytest.approx(schedule.profit)
+        assert report.num_accepted == 2
+
+    def test_detects_tampered_charging(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        # Tamper after construction: claim less bandwidth than the peak.
+        schedule.charged[("A", "B")] = 0
+        report = validate_schedule(schedule)
+        assert not report.ok
+        assert any("exceeds purchased" in e for e in report.errors)
+
+    def test_detects_external_capacity_violation(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        report = validate_schedule(
+            schedule, capacities={key: 0 for key in diamond_instance.edges}
+        )
+        assert not report.ok
+        assert any("external capacity" in e for e in report.errors)
+
+    def test_none_external_capacity_ignored(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: 0, 2: 0})
+        report = validate_schedule(
+            schedule, capacities={key: None for key in diamond_instance.edges}
+        )
+        assert report.ok
+
+    def test_detects_accounting_drift(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: 0, 1: None, 2: None})
+        # Simulate an accounting bug by tampering with the assignment dict
+        # behind the cached loads.
+        schedule.assignment[1] = 0
+        report = validate_schedule(schedule)
+        assert not report.ok
+
+    def test_empty_schedule_ok(self, diamond_instance):
+        schedule = Schedule(diamond_instance, {0: None, 1: None, 2: None})
+        report = validate_schedule(schedule)
+        assert report.ok
+        assert report.profit == 0.0

@@ -1,0 +1,39 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [300, 4.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all lines share one width"
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]], float_fmt=".2f")
+        assert "1.23" in text
+        assert "1.2346" not in text
+
+    def test_ints_and_strings_passthrough(self):
+        text = format_table(["n", "s"], [[7, "hello"]])
+        assert "7" in text and "hello" in text
+
+    def test_bool_not_formatted_as_float(self):
+        text = format_table(["flag"], [[True]])
+        assert "True" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,67 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type("x", 3, int)
+        check_type("x", "s", str)
+        check_type("x", 3.0, (int, float))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_for_numeric(self):
+        with pytest.raises(TypeError, match="bool"):
+            check_type("flagless", True, int)
+        with pytest.raises(TypeError, match="bool"):
+            check_type("flagless", False, (int, float))
+
+    def test_bool_allowed_when_bool_expected(self):
+        check_type("flag", True, bool)
+
+
+class TestNumericChecks:
+    def test_finite_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_finite("x", float("nan"))
+        with pytest.raises(ValueError):
+            check_finite("x", math.inf)
+        check_finite("x", 0.0)
+
+    def test_positive(self):
+        check_positive("x", 0.1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+    def test_nonnegative(self):
+        check_nonnegative("x", 0.0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.001)
+
+    def test_in_range_inclusive(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.01, 0.0, 1.0)
+
+    def test_in_range_exclusive(self):
+        check_in_range("x", 0.5, 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)

@@ -1,0 +1,131 @@
+"""Tests for repro.workload.patterns."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.net.topologies import sub_b4
+from repro.workload.patterns import (
+    SEASONAL_RETAIL,
+    generate_structured_workload,
+    gravity_pair_weights,
+    seasonal_weights,
+)
+
+
+class TestSeasonalWeights:
+    def test_retail_profile_shape(self):
+        assert len(SEASONAL_RETAIL) == 12
+        assert max(SEASONAL_RETAIL) == SEASONAL_RETAIL[10]  # November peak
+
+    def test_sinusoid_bounds(self):
+        weights = seasonal_weights(12, peak=2.0)
+        assert len(weights) == 12
+        assert min(weights) >= 1.0 - 1e-9
+        assert max(weights) <= 2.0 + 1e-9
+
+    def test_peak_one_is_flat(self):
+        weights = seasonal_weights(6, peak=1.0)
+        assert all(w == pytest.approx(1.0) for w in weights)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            seasonal_weights(0)
+        with pytest.raises(WorkloadError):
+            seasonal_weights(12, peak=0.5)
+
+
+class TestGravityWeights:
+    def test_no_self_pairs(self):
+        weights = gravity_pair_weights(sub_b4(), rng=0)
+        assert all(s != d for s, d in weights)
+        n = sub_b4().num_datacenters
+        assert len(weights) == n * (n - 1)
+
+    def test_explicit_masses(self):
+        topo = sub_b4()
+        masses = {dc: 1.0 for dc in topo.datacenters}
+        masses["DC1"] = 10.0
+        weights = gravity_pair_weights(topo, masses)
+        assert weights[("DC1", "DC2")] == pytest.approx(10.0)
+        assert weights[("DC2", "DC3")] == pytest.approx(1.0)
+
+    def test_missing_mass_rejected(self):
+        topo = sub_b4()
+        with pytest.raises(WorkloadError, match="missing"):
+            gravity_pair_weights(topo, {"DC1": 1.0})
+
+
+class TestStructuredWorkload:
+    def test_deterministic(self):
+        topo = sub_b4()
+        a = generate_structured_workload(topo, 30, rng=5)
+        b = generate_structured_workload(topo, 30, rng=5)
+        for ra, rb in zip(a, b):
+            assert (ra.source, ra.dest, ra.start, ra.rate) == (
+                rb.source,
+                rb.dest,
+                rb.start,
+                rb.rate,
+            )
+
+    def test_seasonality_biases_starts(self):
+        topo = sub_b4()
+        # All mass on slot 3.
+        weights = [0.0] * 12
+        weights[3] = 1.0
+        workload = generate_structured_workload(
+            topo, 50, slot_weights=weights, rng=1
+        )
+        assert all(req.start == 3 for req in workload)
+
+    def test_gravity_biases_pairs(self):
+        topo = sub_b4()
+        masses = {dc: 0.01 for dc in topo.datacenters}
+        masses["DC1"] = 100.0
+        masses["DC2"] = 100.0
+        pair_weights = gravity_pair_weights(topo, masses)
+        workload = generate_structured_workload(
+            topo, 60, pair_weights=pair_weights, rng=2
+        )
+        dominant = sum(
+            1
+            for req in workload
+            if {req.source, req.dest} == {"DC1", "DC2"}
+        )
+        assert dominant >= 50, "heavy sites dominate the pair draw"
+
+    def test_retail_profile_usable(self):
+        topo = sub_b4()
+        workload = generate_structured_workload(
+            topo, 120, slot_weights=SEASONAL_RETAIL, rng=3
+        )
+        starts = np.array([req.start for req in workload])
+        q4 = np.mean(starts >= 9)
+        q1 = np.mean(starts <= 2)
+        assert q4 > q1, "Q4-heavy profile shifts arrivals late"
+
+    def test_validation(self):
+        topo = sub_b4()
+        with pytest.raises(WorkloadError):
+            generate_structured_workload(topo, -1)
+        with pytest.raises(WorkloadError):
+            generate_structured_workload(topo, 5, slot_weights=[1.0] * 5)
+        with pytest.raises(WorkloadError):
+            generate_structured_workload(topo, 5, slot_weights=[0.0] * 12)
+
+    def test_max_duration(self):
+        topo = sub_b4()
+        workload = generate_structured_workload(topo, 40, max_duration=2, rng=4)
+        assert all(req.duration <= 2 for req in workload)
+
+    def test_end_to_end_with_metis(self):
+        from repro.core import Metis, SPMInstance
+
+        topo = sub_b4()
+        workload = generate_structured_workload(
+            topo, 30, slot_weights=SEASONAL_RETAIL, rng=6
+        )
+        instance = SPMInstance.build(topo, workload)
+        outcome = Metis(theta=3, maa_rounds=1).solve(instance, rng=0)
+        assert outcome.best.profit >= 0.0

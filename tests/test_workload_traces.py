@@ -1,0 +1,55 @@
+"""Tests for repro.workload.traces."""
+
+import json
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.net.topologies import sub_b4
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.traces import (
+    load_trace,
+    requests_from_dicts,
+    requests_to_dicts,
+    save_trace,
+)
+
+
+@pytest.fixture
+def workload():
+    return generate_workload(sub_b4(), WorkloadConfig(num_requests=15), rng=3)
+
+
+class TestDictRoundTrip:
+    def test_fields_preserved(self, workload):
+        restored = requests_from_dicts(requests_to_dicts(workload))
+        assert restored.num_slots == workload.num_slots
+        assert len(restored) == len(workload)
+        for a, b in zip(workload, restored):
+            assert a.request_id == b.request_id
+            assert str(a.source) == b.source and str(a.dest) == b.dest
+            assert (a.start, a.end) == (b.start, b.end)
+            assert a.rate == pytest.approx(b.rate)
+            assert a.value == pytest.approx(b.value)
+
+    def test_bad_version(self, workload):
+        payload = requests_to_dicts(workload)
+        payload["format_version"] = -1
+        with pytest.raises(WorkloadError, match="format version"):
+            requests_from_dicts(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(workload, path)
+        restored = load_trace(path)
+        assert len(restored) == len(workload)
+        assert restored.total_value == pytest.approx(workload.total_value)
+
+    def test_file_is_valid_json(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(workload, path)
+        payload = json.loads(path.read_text())
+        assert payload["num_slots"] == 12
+        assert len(payload["requests"]) == 15

@@ -1,0 +1,67 @@
+"""Tests for repro.workload.value_models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.net.topologies import b4, line_topology
+from repro.workload.value_models import FlatRateValueModel, PriceAwareValueModel
+
+
+class TestFlatRateValueModel:
+    def test_value_formula(self):
+        model = FlatRateValueModel(unit_price=3.0)
+        value = model.value(line_topology(3), "DC1", "DC3", 0.5, 4, np.random.default_rng(0))
+        assert value == pytest.approx(3.0 * 0.5 * 4)
+
+    def test_geography_blind(self):
+        model = FlatRateValueModel(unit_price=1.0)
+        topo = b4()
+        rng = np.random.default_rng(0)
+        near = model.value(topo, "DC1", "DC2", 0.3, 2, rng)
+        far = model.value(topo, "DC1", "DC12", 0.3, 2, rng)
+        assert near == far
+
+    def test_bad_price(self):
+        with pytest.raises(ValueError):
+            FlatRateValueModel(unit_price=0.0)
+
+
+class TestPriceAwareValueModel:
+    def test_deterministic_without_noise(self):
+        model = PriceAwareValueModel(markup=2.0, noise=0.0)
+        topo = line_topology(3, price=1.5)  # DC1->DC3 cheapest path costs 3.0
+        value = model.value(topo, "DC1", "DC3", 0.5, 2, np.random.default_rng(0))
+        assert value == pytest.approx(2.0 * 0.5 * 2 * 3.0)
+
+    def test_noise_bounds(self):
+        model = PriceAwareValueModel(markup=1.0, noise=0.5)
+        topo = line_topology(2)
+        rng = np.random.default_rng(1)
+        base = 0.5 * 3 * 1.0
+        for _ in range(50):
+            value = model.value(topo, "DC1", "DC2", 0.5, 3, rng)
+            assert 0.5 * base <= value <= 1.5 * base
+
+    def test_distance_increases_value(self):
+        model = PriceAwareValueModel(markup=1.0, noise=0.0)
+        topo = b4()
+        rng = np.random.default_rng(0)
+        near = model.value(topo, "DC1", "DC2", 0.3, 2, rng)
+        far = model.value(topo, "DC1", "DC12", 0.3, 2, rng)
+        assert far > near
+
+    def test_path_price_cached(self):
+        model = PriceAwareValueModel(noise=0.0)
+        topo = b4()
+        rng = np.random.default_rng(0)
+        model.value(topo, "DC1", "DC2", 0.1, 1, rng)
+        assert (id(topo), "DC1", "DC2") in model._path_price_cache
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PriceAwareValueModel(markup=0.0)
+        with pytest.raises(ValueError):
+            PriceAwareValueModel(noise=-0.1)
+        with pytest.raises(WorkloadError):
+            PriceAwareValueModel(noise=1.0)
