@@ -1,0 +1,110 @@
+"""Benchmark of the serving layer: sustained throughput, latency, caching.
+
+Reports the service baseline every future perf PR moves against:
+
+* sustained decisions/sec and p95 per-batch decision latency over a
+  multi-cycle broker run;
+* decision-cache hit rate under periodic (trace-replay) traffic;
+* the solver worker pool's multi-cycle speedup over the single-process
+  path on the same workload (asserted, not just printed).
+"""
+
+import os
+
+import pytest
+
+from repro.service import Broker, BrokerConfig, TraceSource
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.value_models import FlatRateValueModel
+from repro.net.topologies import sub_b4
+
+
+def _available_cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+_CYCLES = 8
+_BASE = dict(
+    topology="sub-b4",
+    num_cycles=_CYCLES,
+    slots_per_cycle=12,
+    requests_per_cycle=60,
+    seed=2019,
+    time_limit=240.0,
+)
+
+
+def _report_line(tag, summary):
+    print(
+        f"\n{tag}: {summary['decisions_per_sec']:.1f} decisions/sec, "
+        f"p95 {summary['latency_p95_ms']:.1f} ms, "
+        f"hit rate {summary['cache_hit_rate']:.0%}, "
+        f"wall {summary['wall_seconds']:.2f}s, "
+        f"profit {summary['profit']:.2f}"
+    )
+
+
+def test_broker_sustained_throughput(benchmark):
+    """Single-process serving over distinct cycles: the baseline numbers."""
+    broker = Broker(BrokerConfig(**_BASE))
+    report = benchmark.pedantic(broker.run, rounds=1, iterations=1)
+    summary = report.summary()
+    assert summary["decisions"] == _CYCLES * _BASE["requests_per_cycle"]
+    assert summary["profit"] > 0.0
+    assert summary["decisions_per_sec"] > 0.0
+    _report_line("serial", summary)
+
+
+def test_broker_cache_hit_rate(benchmark):
+    """Periodic traffic: cycles 2..N replay from the decision cache."""
+    workload = generate_workload(
+        sub_b4(),
+        WorkloadConfig(
+            num_requests=60, num_slots=12, max_duration=4,
+            value_model=FlatRateValueModel(1.8),
+        ),
+        rng=11,
+    )
+    broker = Broker(
+        BrokerConfig(**_BASE), source=TraceSource(workload)
+    )
+    report = benchmark.pedantic(broker.run, rounds=1, iterations=1)
+    summary = report.summary()
+    # All but the first cycle's batches replay from cache.
+    assert summary["cache_hit_rate"] >= (_CYCLES - 1) / _CYCLES - 0.05
+    profits = summary["profit_per_cycle"]
+    assert max(profits) == pytest.approx(min(profits))
+    _report_line("trace-replay", summary)
+
+
+def test_worker_pool_speedup(benchmark):
+    """Pool at 4 processes must out-throughput serial on the same workload."""
+    serial = Broker(BrokerConfig(**_BASE)).run()
+    pooled_broker = Broker(BrokerConfig(**{**_BASE, "workers": 4}))
+    pooled = benchmark.pedantic(pooled_broker.run, rounds=1, iterations=1)
+
+    assert pooled.decision_log() == serial.decision_log(), (
+        "pooled and serial paths must make identical decisions"
+    )
+    serial_summary = serial.summary()
+    pooled_summary = pooled.summary()
+    _report_line("serial", serial_summary)
+    _report_line("pool(4)", pooled_summary)
+    speedup = (
+        pooled_summary["decisions_per_sec"]
+        / max(serial_summary["decisions_per_sec"], 1e-9)
+    )
+    print(f"pool(4) speedup over serial: {speedup:.2f}x")
+    cores = _available_cores()
+    if cores < 2:
+        pytest.skip(
+            f"pool speedup needs >= 2 CPU cores, have {cores} "
+            "(decision equivalence verified above)"
+        )
+    assert pooled_summary["wall_seconds"] < serial_summary["wall_seconds"], (
+        f"worker pool ({pooled_summary['wall_seconds']:.2f}s) should beat "
+        f"serial ({serial_summary['wall_seconds']:.2f}s) on {_CYCLES} cycles"
+    )

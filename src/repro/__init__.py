@@ -10,17 +10,25 @@ experiment harness regenerating each evaluation figure.
 
 Quickstart::
 
-    from repro import b4, WorkloadConfig, generate_workload
-    from repro.core import SPMInstance, Metis
+    from repro import Metis, SPMInstance, b4, WorkloadConfig, generate_workload
 
     topo = b4()
     requests = generate_workload(topo, WorkloadConfig(num_requests=100), rng=7)
     instance = SPMInstance.build(topo, requests)
     outcome = Metis().solve(instance, rng=7)
     print(outcome.best.profit)
+
+Serving loop (see :mod:`repro.service`)::
+
+    from repro import Broker, BrokerConfig
+
+    report = Broker(BrokerConfig(topology="b4", num_cycles=2, seed=7)).run()
+    print(report.profit, report.summary()["decisions_per_sec"])
 """
 
+from repro.core import Metis, SPMInstance
 from repro.net import Topology, b4, sub_b4
+from repro.service import Broker, BrokerConfig
 from repro.workload import Request, RequestSet, WorkloadConfig, generate_workload
 
 __version__ = "1.0.0"
@@ -33,5 +41,9 @@ __all__ = [
     "RequestSet",
     "WorkloadConfig",
     "generate_workload",
+    "Metis",
+    "SPMInstance",
+    "Broker",
+    "BrokerConfig",
     "__version__",
 ]

@@ -92,8 +92,12 @@ def solve_maa(
     instance: SPMInstance,
     *,
     rng: int | np.random.Generator | None = None,
+    time_limit: float | None = None,
 ) -> MAAResult:
     """Run Algorithm 1 (MAA) on ``instance``.
+
+    ``time_limit`` (seconds) bounds the RL-SPM relaxation solve, so
+    serving-path callers can guarantee a decision deadline.
 
     Raises :class:`~repro.exceptions.InfeasibleError` if the relaxation is
     infeasible (cannot happen on strongly connected topologies with
@@ -101,7 +105,7 @@ def solve_maa(
     failure.
     """
     problem = build_rl_spm(instance, integral=False)
-    solution = problem.model.solve()
+    solution = problem.model.solve(time_limit=time_limit)
     if solution.status is SolveStatus.INFEASIBLE:
         raise InfeasibleError("RL-SPM relaxation is infeasible")
     if not solution.is_optimal:

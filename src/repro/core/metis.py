@@ -237,7 +237,9 @@ class Metis:
     outcome (the paper's Fig. 4b repeats the rounding the same way);
     ``local_search=True`` additionally runs the greedy path-reassignment
     descent of :func:`~repro.core.maa.improve_paths` on each rounding —
-    both only ever lower the recorded cost.
+    both only ever lower the recorded cost.  ``time_limit`` (seconds) bounds
+    every LP relaxation solve inside MAA/TAA, so a serving loop can put a
+    hard ceiling on one Metis invocation's solver time.
     """
 
     def __init__(
@@ -248,23 +250,29 @@ class Metis:
         maa_rounds: int = 3,
         local_search: bool = True,
         prune: bool = True,
+        time_limit: float | None = None,
     ) -> None:
         if theta < 1:
             raise ValueError(f"theta must be >= 1, got {theta}")
         if maa_rounds < 1:
             raise ValueError(f"maa_rounds must be >= 1, got {maa_rounds}")
+        if time_limit is not None and time_limit <= 0:
+            raise ValueError(f"time_limit must be > 0, got {time_limit}")
         self.theta = theta
         self.limiter = limiter if limiter is not None else MinUtilizationLimiter()
         self.maa_rounds = maa_rounds
         self.local_search = local_search
         self.prune = prune
+        self.time_limit = time_limit
 
     def _best_maa_schedule(
         self, instance: SPMInstance, rng: np.random.Generator
     ) -> Schedule:
         best: Schedule | None = None
         for _ in range(self.maa_rounds):
-            candidate = solve_maa(instance, rng=rng).schedule
+            candidate = solve_maa(
+                instance, rng=rng, time_limit=self.time_limit
+            ).schedule
             if self.local_search:
                 improved = improve_paths(instance, candidate.assignment)
                 candidate = Schedule(instance, improved)
@@ -332,7 +340,7 @@ class Metis:
                 break
             capacities = shrunk
 
-            taa = solve_taa(current, capacities)
+            taa = solve_taa(current, capacities, time_limit=self.time_limit)
             taa_profit = taa.schedule.profit
             offer(taa.schedule, "taa", round_index)
 

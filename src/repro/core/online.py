@@ -37,7 +37,13 @@ from repro.lp.expr import LinExpr
 from repro.lp.model import Model
 from repro.lp.result import SolveStatus
 
-__all__ = ["OnlineOutcome", "OnlineScheduler", "build_incremental_spm"]
+__all__ = [
+    "OnlineOutcome",
+    "OnlineScheduler",
+    "build_incremental_spm",
+    "decide_batch",
+    "commit_decision",
+]
 
 EdgeKey = tuple
 
@@ -115,6 +121,74 @@ def build_incremental_spm(
     return model, x_vars, extra_vars
 
 
+def decide_batch(
+    instance: SPMInstance,
+    batch_ids: list[int],
+    committed_loads: np.ndarray,
+    charged: np.ndarray,
+    *,
+    time_limit: float | None = None,
+    check_cancelled=None,
+) -> list[int | None]:
+    """Decide one arrival batch exactly; chosen path index per batch position.
+
+    Solves the incremental MILP of :func:`build_incremental_spm` and reads
+    the path choice (or ``None`` = declined) for every request of
+    ``batch_ids``, in order.  State arrays are not mutated — apply the
+    returned decision with :func:`commit_decision`.  The pure
+    state-in/decision-out shape is what lets :mod:`repro.service` cache
+    decisions and ship them across solver worker processes.
+    """
+    model, x_vars, _ = build_incremental_spm(
+        instance, batch_ids, committed_loads, charged
+    )
+    solution = model.solve(time_limit=time_limit, check_cancelled=check_cancelled)
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError("incremental batch MILP infeasible")
+    if not solution.is_optimal:
+        raise SolverError(
+            f"batch MILP did not reach optimality: {solution.status}"
+        )
+
+    decision: list[int | None] = []
+    for request_id in batch_ids:
+        chosen = None
+        for path_idx in range(instance.num_paths(request_id)):
+            if solution.values[x_vars[(request_id, path_idx)]] > 0.5:
+                chosen = path_idx
+                break
+        decision.append(chosen)
+    return decision
+
+
+def commit_decision(
+    instance: SPMInstance,
+    batch_ids: list[int],
+    decision: list[int | None],
+    committed_loads: np.ndarray,
+    charged: np.ndarray,
+) -> int:
+    """Apply a batch decision to the running state; returns accepted count.
+
+    ``committed_loads`` gains the accepted requests' window loads and
+    ``charged`` is raised to the ceiling of each touched edge's new peak —
+    the same integer-unit accounting the offline solutions use.
+    """
+    accepted = 0
+    for request_id, chosen in zip(batch_ids, decision):
+        if chosen is None:
+            continue
+        accepted += 1
+        req = instance.request(request_id)
+        edge_idx = instance.path_edges[request_id][chosen]
+        committed_loads[edge_idx, req.start : req.end + 1] += req.rate
+        peaks = committed_loads[edge_idx].max(axis=1)
+        charged[edge_idx] = np.maximum(
+            charged[edge_idx], np.ceil(peaks - _CEIL_TOL)
+        )
+    return accepted
+
+
 @dataclass
 class OnlineOutcome:
     """The result of an online run: final schedule plus per-slot telemetry."""
@@ -177,33 +251,8 @@ class OnlineScheduler:
         charged: np.ndarray,
         assignment: dict[int, int | None],
     ) -> int:
-        model, x_vars, _ = build_incremental_spm(
-            instance, batch, committed_loads, charged
+        decision = decide_batch(
+            instance, batch, committed_loads, charged, time_limit=self.time_limit
         )
-        solution = model.solve(time_limit=self.time_limit)
-        if solution.status is SolveStatus.INFEASIBLE:
-            raise InfeasibleError("incremental batch MILP infeasible")
-        if not solution.is_optimal:
-            raise SolverError(
-                f"batch MILP did not reach optimality: {solution.status}"
-            )
-
-        accepted = 0
-        for request_id in batch:
-            chosen = None
-            for path_idx in range(instance.num_paths(request_id)):
-                if solution.values[x_vars[(request_id, path_idx)]] > 0.5:
-                    chosen = path_idx
-                    break
-            assignment[request_id] = chosen
-            if chosen is None:
-                continue
-            accepted += 1
-            req = instance.request(request_id)
-            edge_idx = instance.path_edges[request_id][chosen]
-            committed_loads[edge_idx, req.start : req.end + 1] += req.rate
-            peaks = committed_loads[edge_idx].max(axis=1)
-            charged[edge_idx] = np.maximum(
-                charged[edge_idx], np.ceil(peaks - _CEIL_TOL)
-            )
-        return accepted
+        assignment.update(zip(batch, decision))
+        return commit_decision(instance, batch, decision, committed_loads, charged)

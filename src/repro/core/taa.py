@@ -94,11 +94,13 @@ def solve_taa(
     *,
     fallback_mu: float = 0.5,
     augment: bool = True,
+    time_limit: float | None = None,
 ) -> TAAResult:
     """Run Algorithm 2 (TAA) on ``instance`` under ``capacities``.
 
     ``capacities`` must give a finite integer bandwidth for every directed
     edge of the instance.  TAA is deterministic: no RNG is involved.
+    ``time_limit`` (seconds) bounds the BL-SPM relaxation solve.
     """
     for key in instance.edges:
         cap = capacities.get(key)
@@ -115,7 +117,7 @@ def solve_taa(
         return TAAResult(empty, dict(capacities), 0.0, 1.0, 0.0, -math.inf, -math.inf, 0)
 
     problem = build_bl_spm(instance, capacities, integral=False)
-    solution = problem.model.solve()
+    solution = problem.model.solve(time_limit=time_limit)
     if solution.status is SolveStatus.INFEASIBLE:
         raise InfeasibleError("BL-SPM relaxation is infeasible")
     if not solution.is_optimal:

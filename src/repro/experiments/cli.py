@@ -11,6 +11,12 @@ Subcommands regenerate the paper's figures::
 
 Figure data is printed as aligned tables; ``--output`` additionally writes
 a Markdown report.
+
+``serve`` instead runs the long-running broker of :mod:`repro.service`
+over simulated billing cycles and prints its per-cycle ledger and
+telemetry summary::
+
+    metis-repro serve --topology b4 --duration 288 --cycles 2 --workers 4
 """
 
 from __future__ import annotations
@@ -33,8 +39,9 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4cd
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.report import render_results, write_markdown_report
+from repro.util.tables import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_serve_parser", "run_serve"]
 
 _EXPERIMENTS = ("fig3", "fig4a", "fig4b", "fig4cd", "fig5")
 _ABLATIONS = (
@@ -53,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the evaluation of 'Towards Maximal Service Profit in "
             "Geo-Distributed Clouds' (ICDCS 2019)"
+        ),
+        epilog=(
+            "There is also a 'serve' subcommand running the streaming broker "
+            "of repro.service: metis-repro serve --help"
         ),
     )
     parser.add_argument(
@@ -148,8 +159,167 @@ def _run(args: argparse.Namespace) -> list[ExperimentResult]:
     return [runners[args.experiment]()]
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="metis-repro serve",
+        description=(
+            "Run the profit-maximizing broker over simulated billing cycles "
+            "(streaming sealed-bid admission, see repro.service)"
+        ),
+    )
+    parser.add_argument(
+        "--topology",
+        choices=("b4", "sub-b4", "abilene"),
+        default="b4",
+        help="WAN topology served",
+    )
+    parser.add_argument(
+        "--duration",
+        type=int,
+        default=12,
+        metavar="T",
+        help="slots per billing cycle (e.g. 288 five-minute slots per day)",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=1, help="number of rolling billing cycles"
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        metavar="W",
+        help="slots per admission window (batch cadence)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        metavar="K",
+        help="bid arrivals per cycle (synthetic source)",
+    )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="replay a recorded trace (.json or .jsonl) instead of generating",
+    )
+    parser.add_argument("--seed", type=int, default=2019, help="master seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solver worker processes (>= 2 enables the pool)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="decision-cache entries (0 disables)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split admission windows into MILPs of at most N bids",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission-queue bound; bids beyond it are shed",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=60.0,
+        help="seconds per batch MILP solve",
+    )
+    parser.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="dump the JSON telemetry report here",
+    )
+    return parser
+
+
+def run_serve(argv: Sequence[str] | None = None) -> int:
+    """The ``serve`` subcommand: run the broker and print its report."""
+    from repro.exceptions import WorkloadError
+    from repro.service import Broker, BrokerConfig, TraceSource
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = BrokerConfig(
+            topology=args.topology,
+            num_cycles=args.cycles,
+            slots_per_cycle=args.duration,
+            window=args.window,
+            requests_per_cycle=args.requests,
+            seed=args.seed,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            max_batch=args.max_batch,
+            queue_capacity=args.queue_capacity,
+            time_limit=args.time_limit,
+        )
+        source = TraceSource(args.trace) if args.trace else None
+    except (ValueError, OSError, WorkloadError) as exc:
+        parser.error(str(exc))
+    report = Broker(config, source=source).run()
+
+    headers = [
+        "cycle", "requests", "accepted", "declined", "shed",
+        "revenue", "cost", "profit", "wall_s",
+    ]
+    rows = [
+        [
+            c.cycle, c.num_requests, c.accepted, c.declined, c.shed,
+            c.revenue, c.cost, c.profit, c.wall_seconds,
+        ]
+        for c in report.cycles
+    ]
+    print(
+        format_table(
+            headers,
+            rows,
+            float_fmt=".3f",
+            title=f"serve: {args.topology}, {args.cycles} cycle(s) x {args.duration} slots",
+        )
+    )
+    summary = report.summary()
+    print(
+        f"\ntotal profit {summary['profit']:.3f} "
+        f"({summary['accepted']}/{summary['decisions']} bids accepted, "
+        f"{summary['shed']} shed)"
+    )
+    print(
+        f"throughput {summary['decisions_per_sec']:.1f} decisions/sec, "
+        f"p50 {summary['latency_p50_ms']:.1f} ms, "
+        f"p95 {summary['latency_p95_ms']:.1f} ms per batch"
+    )
+    print(
+        f"cache hit rate {summary['cache_hit_rate']:.0%} "
+        f"({summary['cache_hits']} hits / {summary['cache_misses']} solves), "
+        f"solver time {summary['solver_seconds']:.2f}s "
+        f"of {summary['wall_seconds']:.2f}s wall"
+    )
+    if args.telemetry:
+        report.dump_telemetry(args.telemetry)
+        print(f"telemetry written to {args.telemetry}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     args = build_parser().parse_args(argv)
     results = _run(args)
     print(render_results(results, charts=args.chart))

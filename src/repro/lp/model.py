@@ -186,18 +186,23 @@ class Model:
         *,
         relax_integrality: bool = False,
         time_limit: float | None = None,
+        check_cancelled=None,
     ) -> Solution:
         """Solve the model; see :mod:`repro.lp.solvers` for backend details.
 
         ``relax_integrality=True`` drops all integrality flags — the LP
         relaxation used by the approximation algorithms.  ``time_limit``
-        (seconds) caps MILP solves; a timed-out solve reports
+        (seconds) caps both LP and MILP solves; a timed-out solve reports
         ``SolveStatus.ERROR`` rather than a silently suboptimal answer.
+        ``check_cancelled`` is polled before dispatch (see
+        :func:`repro.lp.solvers.solve_compiled`).
         """
         from repro.lp.solvers import solve_compiled
 
         compiled = self.compile(relax_integrality=relax_integrality)
-        return solve_compiled(compiled, time_limit=time_limit)
+        return solve_compiled(
+            compiled, time_limit=time_limit, check_cancelled=check_cancelled
+        )
 
     def check_feasible(self, assignment: dict[Variable, float], tol: float = 1e-7) -> bool:
         """Whether ``assignment`` satisfies every constraint and bound."""

@@ -37,16 +37,28 @@ _MILP_STATUS = {
 
 
 def solve_compiled(
-    compiled: CompiledModel, *, time_limit: float | None = None
+    compiled: CompiledModel,
+    *,
+    time_limit: float | None = None,
+    check_cancelled=None,
 ) -> Solution:
     """Solve a :class:`~repro.lp.model.CompiledModel` with HiGHS.
 
-    ``time_limit`` (seconds) only applies to the MILP path; LPs at this
-    library's scale solve in milliseconds.
+    ``time_limit`` (seconds) caps both paths: MILPs via ``scipy.optimize.milp``
+    and LPs via HiGHS' own ``time_limit`` option, so serving-path solves are
+    always bounded.  A solve that hits the limit reports
+    ``SolveStatus.ERROR`` rather than a silently suboptimal answer.
+
+    ``check_cancelled`` is an optional zero-argument callable polled before
+    the solver is dispatched; returning truthy raises
+    :class:`~repro.exceptions.SolverError`.  Solver worker pools use it to
+    drain queued work cooperatively after a sibling task fails.
     """
+    if check_cancelled is not None and check_cancelled():
+        raise SolverError("solve cancelled before dispatch")
     if np.any(compiled.integrality):
         return _solve_milp(compiled, time_limit=time_limit)
-    return _solve_linprog(compiled)
+    return _solve_linprog(compiled, time_limit=time_limit)
 
 
 def _extract_values(compiled: CompiledModel, x: np.ndarray) -> dict:
@@ -59,7 +71,9 @@ def _extract_values(compiled: CompiledModel, x: np.ndarray) -> dict:
     return values
 
 
-def _solve_linprog(compiled: CompiledModel) -> Solution:
+def _solve_linprog(
+    compiled: CompiledModel, *, time_limit: float | None = None
+) -> Solution:
     finite_eq = compiled.row_lower == compiled.row_upper
     a_matrix = compiled.a_matrix
 
@@ -92,6 +106,7 @@ def _solve_linprog(compiled: CompiledModel) -> Solution:
         b_eq=b_eq,
         bounds=bounds,
         method="highs",
+        options=None if time_limit is None else {"time_limit": float(time_limit)},
     )
     status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
     if status is not SolveStatus.OPTIMAL:

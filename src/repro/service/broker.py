@@ -1,0 +1,435 @@
+"""The profit-maximizing broker: a long-running admission-serving loop.
+
+This is the serving layer the paper's operational story implies: a
+provider continuously receives first-price sealed-bid transfer requests
+and must accept (with a path) or decline each one before its window
+starts.  The broker runs rolling billing cycles on a simulated clock
+(:class:`~repro.service.clock.SimClock`), ingests each cycle's bid stream
+(:mod:`repro.service.ingest`), batches arrivals into admission windows,
+and decides every batch *exactly* with the incremental MILP of
+:func:`repro.core.online.build_incremental_spm` — the same integer-unit
+charging the offline solutions use, so broker profit is directly
+comparable to (and upper-bounded by) offline OPT on the same instance.
+
+Scaling levers, all orthogonal to the decision logic:
+
+* a bounded :class:`~repro.service.cache.DecisionCache` short-circuits
+  repeated (residual-state, batch) sub-instances — periodic traffic makes
+  whole cycles replay from cache;
+* with ``workers >= 2`` independent billing cycles are dispatched to a
+  :class:`~repro.service.pool.SolverPool` of processes, each with its own
+  per-process cache and cooperative cancellation;
+* ``max_batch`` splits oversized admission windows into bounded MILPs and
+  ``queue_capacity`` sheds bids beyond what the broker will buffer.
+
+Every decision feeds :mod:`repro.service.telemetry`, and
+:meth:`BrokerReport.dump_telemetry` writes the JSON baseline (decisions
+per second, latency percentiles, cache hit rate, profit ledger) that
+future performance work measures against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.instance import SPMInstance
+from repro.core.online import commit_decision, decide_batch
+from repro.core.schedule import Schedule
+from repro.net.topologies import abilene, b4, sub_b4
+from repro.net.topology import Topology
+from repro.service import pool as pool_mod
+from repro.service.cache import DecisionCache
+from repro.service.clock import SimClock
+from repro.service.ingest import AdmissionQueue, ArrivalSource, GeneratorSource
+from repro.service.pool import SolverPool
+from repro.service.telemetry import BatchRecord, TelemetryCollector
+from repro.workload.generator import WorkloadConfig
+from repro.workload.request import RequestSet
+from repro.workload.value_models import FlatRateValueModel, ValueModel
+
+__all__ = [
+    "BrokerConfig",
+    "CycleResult",
+    "BrokerReport",
+    "Broker",
+    "run_cycle",
+]
+
+#: Flat retail price per bandwidth unit per slot (see
+#: :data:`repro.experiments.common.DEFAULT_UNIT_VALUE` for the rationale).
+_DEFAULT_UNIT_VALUE = 1.8
+
+_TOPOLOGIES = {"b4": b4, "sub-b4": sub_b4, "abilene": abilene}
+
+
+def _make_topology(name: str | Topology) -> Topology:
+    if isinstance(name, Topology):
+        return name
+    try:
+        return _TOPOLOGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from {sorted(_TOPOLOGIES)}"
+        ) from None
+
+
+@dataclass
+class BrokerConfig:
+    """Everything that pins a broker run.
+
+    ``slots_per_cycle`` is the billing-cycle length ``T`` (e.g. 12 monthly
+    slots, or 288 five-minute slots over a day); ``window`` groups slots
+    into admission windows; ``workers >= 2`` enables the process pool;
+    ``cache_size=0`` disables the decision cache; ``queue_capacity`` and
+    ``max_batch`` bound the admission queue and per-MILP batch size
+    (``None`` = unbounded).
+    """
+
+    topology: str | Topology = "b4"
+    num_cycles: int = 1
+    slots_per_cycle: int = 12
+    window: int = 1
+    requests_per_cycle: int = 100
+    seed: int = 2019
+    k_paths: int = 3
+    max_duration: int | None = 4
+    value_model: ValueModel = field(
+        default_factory=lambda: FlatRateValueModel(_DEFAULT_UNIT_VALUE)
+    )
+    time_limit: float | None = 60.0
+    workers: int = 0
+    cache_size: int = 1024
+    queue_capacity: int | None = None
+    max_batch: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_cycles < 1:
+            raise ValueError(f"num_cycles must be >= 1, got {self.num_cycles}")
+        if self.slots_per_cycle < 1:
+            raise ValueError(
+                f"slots_per_cycle must be >= 1, got {self.slots_per_cycle}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.requests_per_cycle < 0:
+            raise ValueError(
+                f"requests_per_cycle must be >= 0, got {self.requests_per_cycle}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+
+    def clock(self) -> SimClock:
+        return SimClock(
+            self.slots_per_cycle, window=self.window, num_cycles=self.num_cycles
+        )
+
+
+@dataclass
+class CycleResult:
+    """One billing cycle's ledger: counts, money, and the full assignment.
+
+    ``accepted + declined + shed == num_requests``; ``revenue``/``cost``/
+    ``profit`` use the same peak-based integer-unit charging as the offline
+    solutions.  ``assignment`` maps every request id to its chosen path (or
+    ``None``), so callers can rebuild the :class:`Schedule` locally — the
+    worker pool ships this compact result instead of whole schedules.
+    """
+
+    cycle: int
+    num_requests: int
+    accepted: int
+    declined: int
+    shed: int
+    revenue: float
+    cost: float
+    profit: float
+    wall_seconds: float
+    batches: list[BatchRecord]
+    assignment: dict[int, int | None]
+
+
+def run_cycle(
+    topology: Topology,
+    requests: RequestSet,
+    *,
+    cycle_index: int = 0,
+    window: int = 1,
+    k_paths: int = 3,
+    time_limit: float | None = None,
+    cache: DecisionCache | None = None,
+    queue_capacity: int | None = None,
+    max_batch: int | None = None,
+    check_cancelled=None,
+) -> CycleResult:
+    """Serve one billing cycle end to end; the broker's core loop.
+
+    Deterministic given its inputs: batches form in arrival order, every
+    decision is an exact MILP (or an exact cache replay), and the final
+    accounting charges the ceiling of each edge's realized peak load.
+    """
+    t0 = time.perf_counter()
+    instance = SPMInstance.build(topology, requests, k_paths=k_paths)
+    clock = SimClock(requests.num_slots, window=window)
+    committed = np.zeros((instance.num_edges, instance.num_slots))
+    charged = np.zeros(instance.num_edges)
+    assignment: dict[int, int | None] = {}
+    queue = AdmissionQueue(queue_capacity)
+    batches: list[BatchRecord] = []
+    prices = instance.prices
+
+    by_start: dict[int, list] = {}
+    for req in requests:
+        by_start.setdefault(req.start, []).append(req)
+
+    for tick in clock.windows(0):
+        shed_before = queue.shed
+        for slot in tick.slots:
+            for req in by_start.get(slot, ()):
+                if not queue.offer(req):
+                    assignment[req.request_id] = None
+        window_shed = queue.shed - shed_before
+
+        drained_any = False
+        while queue:
+            batch = queue.drain(max_batch)
+            batch_ids = [r.request_id for r in batch]
+            solver_start = time.perf_counter()
+            decision = None
+            hit = False
+            key = None
+            if cache is not None:
+                key = cache.make_key(instance, batch_ids, committed, charged)
+                decision = cache.get(key)
+                hit = decision is not None
+            if decision is None:
+                decision = decide_batch(
+                    instance,
+                    batch_ids,
+                    committed,
+                    charged,
+                    time_limit=time_limit,
+                    check_cancelled=check_cancelled,
+                )
+                if cache is not None:
+                    cache.put(key, decision)
+            solver_seconds = time.perf_counter() - solver_start
+
+            cost_before = float(prices @ charged)
+            accepted = commit_decision(
+                instance, batch_ids, decision, committed, charged
+            )
+            cost_after = float(prices @ charged)
+            assignment.update(zip(batch_ids, decision))
+            revenue = sum(
+                instance.request(rid).value
+                for rid, path in zip(batch_ids, decision)
+                if path is not None
+            )
+            batches.append(
+                BatchRecord(
+                    cycle=cycle_index,
+                    window_start=tick.window_start,
+                    size=len(batch_ids),
+                    accepted=accepted,
+                    declined=len(batch_ids) - accepted,
+                    shed=0 if drained_any else window_shed,
+                    revenue=revenue,
+                    incremental_cost=cost_after - cost_before,
+                    solver_seconds=solver_seconds,
+                    cache_hit=hit,
+                )
+            )
+            drained_any = True
+        if window_shed and not drained_any:
+            # Every arrival of the window was shed: record it anyway.
+            batches.append(
+                BatchRecord(
+                    cycle=cycle_index,
+                    window_start=tick.window_start,
+                    size=0,
+                    accepted=0,
+                    declined=0,
+                    shed=window_shed,
+                    revenue=0.0,
+                    incremental_cost=0.0,
+                    solver_seconds=0.0,
+                    cache_hit=False,
+                )
+            )
+
+    schedule = Schedule(instance, assignment)
+    shed_total = queue.shed
+    return CycleResult(
+        cycle=cycle_index,
+        num_requests=instance.num_requests,
+        accepted=schedule.num_accepted,
+        declined=instance.num_requests - schedule.num_accepted - shed_total,
+        shed=shed_total,
+        revenue=schedule.revenue,
+        cost=schedule.cost,
+        profit=schedule.profit,
+        wall_seconds=time.perf_counter() - t0,
+        batches=batches,
+        assignment=dict(assignment),
+    )
+
+
+def _cycle_worker(payload: tuple) -> CycleResult:
+    """Pool entry point: serve one cycle inside a worker process.
+
+    Uses the worker's per-process decision cache and the pool's
+    cooperative-cancellation flag (both installed by the pool initializer).
+    """
+    topology, requests, cycle_index, window, k_paths, time_limit, queue_capacity, max_batch = payload
+    return run_cycle(
+        topology,
+        requests,
+        cycle_index=cycle_index,
+        window=window,
+        k_paths=k_paths,
+        time_limit=time_limit,
+        cache=pool_mod.worker_cache(),
+        queue_capacity=queue_capacity,
+        max_batch=max_batch,
+        check_cancelled=pool_mod.check_cancelled,
+    )
+
+
+@dataclass
+class BrokerReport:
+    """A finished broker run: per-cycle ledgers plus aggregated telemetry."""
+
+    config: BrokerConfig
+    cycles: list[CycleResult]
+    telemetry: TelemetryCollector
+
+    @property
+    def profit(self) -> float:
+        return sum(c.profit for c in self.cycles)
+
+    @property
+    def revenue(self) -> float:
+        return sum(c.revenue for c in self.cycles)
+
+    @property
+    def cost(self) -> float:
+        return sum(c.cost for c in self.cycles)
+
+    @property
+    def num_accepted(self) -> int:
+        return sum(c.accepted for c in self.cycles)
+
+    def summary(self) -> dict:
+        return self.telemetry.summary()
+
+    def decision_log(self) -> list[tuple[int, int, int | None]]:
+        """Every decision as ``(cycle, request_id, path_or_None)``.
+
+        Canonically ordered, so two runs are comparable with ``==`` — the
+        seed-determinism tests and the serial/pool equivalence tests both
+        hinge on this.
+        """
+        return [
+            (result.cycle, request_id, path)
+            for result in self.cycles
+            for request_id, path in sorted(result.assignment.items())
+        ]
+
+    def dump_telemetry(self, path) -> None:
+        self.telemetry.dump_json(path)
+
+
+class Broker:
+    """Runs the serving loop over an arrival source.
+
+    With the default source, bids come from the paper's synthetic workload
+    model, cycle-varied but fully seed-deterministic.  Pass a
+    :class:`~repro.service.ingest.TraceSource` to replay recorded traffic.
+    """
+
+    def __init__(
+        self, config: BrokerConfig | None = None, source: ArrivalSource | None = None
+    ) -> None:
+        self.config = config if config is not None else BrokerConfig()
+        self.topology = _make_topology(self.config.topology)
+        if source is None:
+            source = GeneratorSource(
+                self.topology,
+                WorkloadConfig(
+                    num_requests=self.config.requests_per_cycle,
+                    num_slots=self.config.slots_per_cycle,
+                    max_duration=self.config.max_duration,
+                    value_model=self.config.value_model,
+                ),
+                seed=self.config.seed,
+            )
+        self.source = source
+
+    def run(self) -> BrokerReport:
+        """Serve every configured cycle and return the full report."""
+        config = self.config
+        t0 = time.perf_counter()
+        if config.workers >= 2 and config.num_cycles > 1:
+            results = self._run_pooled()
+        else:
+            results = self._run_serial()
+        elapsed = time.perf_counter() - t0
+
+        telemetry = TelemetryCollector()
+        for result in results:
+            for record in result.batches:
+                telemetry.record_batch(record)
+            telemetry.record_cycle(result.cycle, result.profit)
+        telemetry.wall_seconds = elapsed
+        return BrokerReport(config=config, cycles=results, telemetry=telemetry)
+
+    def _run_serial(self) -> list[CycleResult]:
+        config = self.config
+        cache = DecisionCache(config.cache_size) if config.cache_size > 0 else None
+        return [
+            run_cycle(
+                self.topology,
+                self.source.cycle(index),
+                cycle_index=index,
+                window=config.window,
+                k_paths=config.k_paths,
+                time_limit=config.time_limit,
+                cache=cache,
+                queue_capacity=config.queue_capacity,
+                max_batch=config.max_batch,
+            )
+            for index in range(config.num_cycles)
+        ]
+
+    def _run_pooled(self) -> list[CycleResult]:
+        config = self.config
+        payloads = [
+            (
+                self.topology,
+                self.source.cycle(index),
+                index,
+                config.window,
+                config.k_paths,
+                config.time_limit,
+                config.queue_capacity,
+                config.max_batch,
+            )
+            for index in range(config.num_cycles)
+        ]
+        with SolverPool(config.workers, cache_size=config.cache_size) as solver_pool:
+            return solver_pool.map(_cycle_worker, payloads)
+
+    def with_config(self, **changes) -> "Broker":
+        """A new broker over the same source with config fields replaced."""
+        return Broker(replace(self.config, **changes), source=self.source)
+
+    def __repr__(self) -> str:
+        return (
+            f"Broker(topology={self.topology.name!r}, "
+            f"cycles={self.config.num_cycles}, workers={self.config.workers})"
+        )

@@ -1,0 +1,150 @@
+"""Bid ingestion: arrival sources and the bounded admission queue.
+
+The broker consumes sealed bids cycle by cycle from an
+:class:`ArrivalSource` — either freshly drawn from the synthetic workload
+model (:class:`GeneratorSource`, deterministic per seed *and* per cycle)
+or replayed from a recorded trace (:class:`TraceSource`, including the
+JSONL streaming format of :mod:`repro.workload.traces`).
+
+Between arrival and decision, bids sit in an :class:`AdmissionQueue`.  The
+queue is bounded: a real broker cannot buffer unbounded bursts, so bids
+offered beyond ``capacity`` are *shed* — declined without ever reaching a
+solver.  Draining accepts an optional batch-size limit so one admission
+window can be split into several smaller MILPs when burst sizes would
+otherwise blow up solve times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from pathlib import Path
+
+from repro.exceptions import WorkloadError
+from repro.net.topology import Topology
+from repro.util.rng import ensure_rng
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.request import Request, RequestSet
+from repro.workload.traces import load_trace, load_trace_jsonl
+
+__all__ = [
+    "ArrivalSource",
+    "GeneratorSource",
+    "TraceSource",
+    "AdmissionQueue",
+]
+
+#: Mixes the seed with the cycle index the same way the experiment harness
+#: mixes it with the sweep point — a large prime keeps substreams disjoint.
+_CYCLE_SEED_STRIDE = 100_003
+
+
+class ArrivalSource(ABC):
+    """Produces one billing cycle's worth of bid arrivals at a time."""
+
+    @abstractmethod
+    def cycle(self, cycle_index: int) -> RequestSet:
+        """The sealed bids arriving during cycle ``cycle_index``.
+
+        Must be deterministic in ``cycle_index``: calling it twice with the
+        same index returns an identical request set, so broker runs can be
+        replayed and the serial/pooled execution paths agree.
+        """
+
+
+class GeneratorSource(ArrivalSource):
+    """Streams synthetic bids from :func:`~repro.workload.generator.generate_workload`.
+
+    Each cycle draws an independent workload whose seed mixes the master
+    ``seed`` with the cycle index, so the stream is unbounded, cycle-varied
+    and still fully reproducible.
+    """
+
+    def __init__(
+        self, topology: Topology, config: WorkloadConfig, *, seed: int = 0
+    ) -> None:
+        if seed < 0:
+            raise ValueError(f"seed must be >= 0, got {seed}")
+        self.topology = topology
+        self.config = config
+        self.seed = seed
+
+    def cycle(self, cycle_index: int) -> RequestSet:
+        rng = ensure_rng(self.seed * _CYCLE_SEED_STRIDE + cycle_index)
+        return generate_workload(self.topology, self.config, rng=rng)
+
+
+class TraceSource(ArrivalSource):
+    """Replays a recorded trace as the bid stream.
+
+    ``trace`` may be a :class:`RequestSet` or a path to a saved trace
+    (``.jsonl`` streams through :func:`load_trace_jsonl`, anything else
+    through :func:`load_trace`).  With ``repeat=True`` (the default) every
+    cycle replays the same trace — the periodic-traffic regime where the
+    decision cache shines; with ``repeat=False`` the trace plays in cycle 0
+    only and later cycles are idle.
+    """
+
+    def __init__(
+        self,
+        trace: RequestSet | str | Path,
+        *,
+        repeat: bool = True,
+    ) -> None:
+        if isinstance(trace, (str, Path)):
+            path = Path(trace)
+            trace = (
+                load_trace_jsonl(path)
+                if path.suffix == ".jsonl"
+                else load_trace(path)
+            )
+        if not isinstance(trace, RequestSet):
+            raise WorkloadError(
+                f"trace must be a RequestSet or a path, got {type(trace).__name__}"
+            )
+        self.trace = trace
+        self.repeat = repeat
+
+    def cycle(self, cycle_index: int) -> RequestSet:
+        if cycle_index == 0 or self.repeat:
+            return self.trace
+        return RequestSet([], self.trace.num_slots)
+
+
+class AdmissionQueue:
+    """A bounded FIFO of pending bids with shed accounting.
+
+    ``offer`` returns ``False`` (and counts the bid as shed) when the queue
+    is full; ``drain`` pops up to ``limit`` bids in arrival order.
+    ``capacity=None`` means unbounded — the simulation default.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._pending: deque[Request] = deque()
+        self.shed = 0
+
+    def offer(self, request: Request) -> bool:
+        if self.capacity is not None and len(self._pending) >= self.capacity:
+            self.shed += 1
+            return False
+        self._pending.append(request)
+        return True
+
+    def drain(self, limit: int | None = None) -> list[Request]:
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1 or None, got {limit}")
+        count = len(self._pending) if limit is None else min(limit, len(self._pending))
+        return [self._pending.popleft() for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"AdmissionQueue(pending={len(self._pending)}/{cap}, shed={self.shed})"

@@ -1,0 +1,117 @@
+"""The solver worker pool: parallel cycle decisions across processes.
+
+Billing cycles are independent — each starts from empty committed state
+and its own arrival stream — so a multi-cycle broker run parallelizes
+perfectly across a :class:`concurrent.futures.ProcessPoolExecutor`.  The
+same machinery shards any list of independent decision payloads (e.g.
+disjoint topology shards), which is why the pool is payload-agnostic: it
+maps a picklable module-level function over payloads and returns results
+in submission order.
+
+Two serving-specific behaviors are layered on top of the bare executor:
+
+* **per-process decision cache** — each worker process owns a
+  :class:`~repro.service.cache.DecisionCache` (installed by the pool
+  initializer and reached via :func:`worker_cache`), so recurring
+  sub-instances hit even across tasks executed by the same worker;
+* **cooperative cancellation** — a shared :class:`multiprocessing.Event`
+  is polled by workers between solves (via :func:`check_cancelled`, wired
+  down to :func:`repro.lp.solvers.solve_compiled`); when any task fails,
+  the pool sets the event and cancels queued futures so a broken run
+  drains quickly instead of grinding through doomed MILPs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable
+
+from repro.service.cache import DecisionCache
+
+__all__ = ["SolverPool", "worker_cache", "check_cancelled", "default_workers"]
+
+# Per-worker-process state, installed by _initialize_worker.
+_WORKER_CACHE: DecisionCache | None = None
+_CANCEL_EVENT = None
+
+
+def _initialize_worker(cancel_event, cache_size: int) -> None:
+    global _WORKER_CACHE, _CANCEL_EVENT
+    _CANCEL_EVENT = cancel_event
+    _WORKER_CACHE = DecisionCache(cache_size) if cache_size > 0 else None
+
+
+def worker_cache() -> DecisionCache | None:
+    """This worker process's decision cache (``None`` outside a pool)."""
+    return _WORKER_CACHE
+
+
+def check_cancelled() -> bool:
+    """Whether the owning pool has requested cooperative cancellation."""
+    return _CANCEL_EVENT is not None and _CANCEL_EVENT.is_set()
+
+
+def default_workers() -> int:
+    """A sensible worker count: the machine's cores, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+class SolverPool:
+    """A process pool for independent solve tasks, with ordered results.
+
+    ``workers`` fixes the process count; ``cache_size`` sizes each worker's
+    private decision cache (0 disables caching).  Use as a context manager
+    or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, workers: int, *, cache_size: int = 1024) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.workers = workers
+        self.cache_size = cache_size
+        self._cancel_event = multiprocessing.Event()
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize_worker,
+            initargs=(self._cancel_event, cache_size),
+        )
+
+    def map(self, fn: Callable[[Any], Any], payloads: list[Any]) -> list[Any]:
+        """Run ``fn(payload)`` for every payload; results in payload order.
+
+        On the first task failure the pool cancels everything still queued,
+        signals running workers to stop cooperatively, and re-raises the
+        task's exception.
+        """
+        futures = [self._executor.submit(fn, payload) for payload in payloads]
+        results = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BaseException:
+            self.cancel()
+            raise
+        return results
+
+    def cancel(self) -> None:
+        """Signal cooperative cancellation and drop queued (unstarted) tasks."""
+        self._cancel_event.set()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.cancel()
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"SolverPool(workers={self.workers}, cache_size={self.cache_size})"

@@ -1,0 +1,129 @@
+"""Service telemetry: per-batch counters, latency percentiles, JSON dumps.
+
+Every admission batch the broker decides produces one :class:`BatchRecord`
+(accepted/declined/shed counts, revenue, incremental bandwidth cost,
+solver wall-time, cache hit).  :class:`TelemetryCollector` aggregates the
+records of a whole run into the summary every perf-oriented PR needs as a
+baseline: sustained decisions/sec, p50/p95/max decision latency, cache hit
+rate, and the profit ledger — and serializes it to JSON so runs can be
+diffed across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["BatchRecord", "TelemetryCollector"]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Counters of one decided admission batch."""
+
+    cycle: int
+    window_start: int
+    size: int
+    accepted: int
+    declined: int
+    shed: int
+    revenue: float
+    incremental_cost: float
+    solver_seconds: float
+    cache_hit: bool
+
+
+@dataclass
+class TelemetryCollector:
+    """Accumulates batch records and per-cycle ledgers into one summary."""
+
+    batches: list[BatchRecord] = field(default_factory=list)
+    _cycle_profit: dict[int, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def record_batch(self, record: BatchRecord) -> None:
+        self.batches.append(record)
+
+    def record_cycle(self, cycle: int, profit: float) -> None:
+        """Book one finished cycle's final profit.
+
+        ``profit`` is the *schedule-level* profit (peak-based charging over
+        the whole cycle), which the per-batch incremental costs must sum to
+        — the consistency the broker tests assert.  ``wall_seconds`` is set
+        by the broker to the run's *elapsed* time (not the per-cycle sum),
+        so ``decisions_per_sec`` reflects real sustained throughput and a
+        worker pool's speedup is visible in it.
+        """
+        self._cycle_profit[cycle] = profit
+
+    # ------------------------------------------------------------- aggregates
+
+    @property
+    def num_decisions(self) -> int:
+        """Bids decided by a solver or cache (shed bids never reach one)."""
+        return sum(record.size for record in self.batches)
+
+    @property
+    def solver_seconds(self) -> float:
+        return sum(record.solver_seconds for record in self.batches)
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of per-batch decision latency (seconds)."""
+        if not self.batches:
+            return 0.0
+        times = np.array([record.solver_seconds for record in self.batches])
+        return float(np.percentile(times, q))
+
+    def summary(self) -> dict[str, Any]:
+        """The run-level JSON-compatible summary."""
+        accepted = sum(r.accepted for r in self.batches)
+        declined = sum(r.declined for r in self.batches)
+        shed = sum(r.shed for r in self.batches)
+        hits = sum(1 for r in self.batches if r.cache_hit)
+        solved = len(self.batches) - hits
+        decisions = self.num_decisions
+        wall = self.wall_seconds
+        return {
+            "cycles": len(self._cycle_profit),
+            "batches": len(self.batches),
+            "decisions": decisions,
+            "accepted": accepted,
+            "declined": declined,
+            "shed": shed,
+            "revenue": sum(r.revenue for r in self.batches),
+            "incremental_cost": sum(r.incremental_cost for r in self.batches),
+            "profit": sum(self._cycle_profit.values()),
+            "profit_per_cycle": [
+                self._cycle_profit[c] for c in sorted(self._cycle_profit)
+            ],
+            "cache_hits": hits,
+            "cache_misses": solved,
+            "cache_hit_rate": hits / len(self.batches) if self.batches else 0.0,
+            "solver_seconds": self.solver_seconds,
+            "wall_seconds": wall,
+            "decisions_per_sec": decisions / wall if wall > 0 else 0.0,
+            "latency_p50_ms": self.latency_percentile(50) * 1e3,
+            "latency_p95_ms": self.latency_percentile(95) * 1e3,
+            "latency_max_ms": self.latency_percentile(100) * 1e3,
+        }
+
+    def dump_json(self, path: str | Path) -> None:
+        """Write the summary plus every batch record to ``path``."""
+        payload = {
+            "summary": self.summary(),
+            "batches": [asdict(record) for record in self.batches],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2), encoding="utf-8"
+        )
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"TelemetryCollector(decisions={s['decisions']}, "
+            f"profit={s['profit']:.3f}, hit_rate={s['cache_hit_rate']:.0%})"
+        )

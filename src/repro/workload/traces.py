@@ -3,18 +3,40 @@
 Requests round-trip through JSON so an experiment can pin the exact
 workload it ran on.  Node ids are stringified on save; loaders return them
 as strings, which matches the builders in :mod:`repro.net.topologies`.
+
+Two on-disk layouts are supported:
+
+* a single JSON document (:func:`save_trace` / :func:`load_trace`) — the
+  original format, convenient for small pinned workloads;
+* JSON Lines (:func:`save_trace_jsonl` / :func:`iter_trace_jsonl`) — a
+  header line followed by one request per line, so the serving layer can
+  *stream* arbitrarily long bid streams without materializing them.
+
+:func:`arrival_stream` turns any request iterable into the
+slot-by-slot arrival batches the broker's admission loop consumes.
 """
 
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Any
 
 from repro.exceptions import WorkloadError
 from repro.workload.request import Request, RequestSet
 
-__all__ = ["requests_to_dicts", "requests_from_dicts", "save_trace", "load_trace"]
+__all__ = [
+    "requests_to_dicts",
+    "requests_from_dicts",
+    "save_trace",
+    "load_trace",
+    "save_trace_jsonl",
+    "iter_trace_jsonl",
+    "load_trace_jsonl",
+    "trace_jsonl_header",
+    "arrival_stream",
+]
 
 _FORMAT_VERSION = 1
 
@@ -69,3 +91,117 @@ def load_trace(path: str | Path) -> RequestSet:
     """Load a request trace previously written by :func:`save_trace`."""
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     return requests_from_dicts(data)
+
+
+# --------------------------------------------------------------- streaming
+
+
+def _request_to_dict(req: Request) -> dict[str, Any]:
+    return {
+        "request_id": req.request_id,
+        "source": str(req.source),
+        "dest": str(req.dest),
+        "start": req.start,
+        "end": req.end,
+        "rate": req.rate,
+        "value": req.value,
+    }
+
+
+def _request_from_dict(r: dict[str, Any]) -> Request:
+    return Request(
+        request_id=int(r["request_id"]),
+        source=r["source"],
+        dest=r["dest"],
+        start=int(r["start"]),
+        end=int(r["end"]),
+        rate=float(r["rate"]),
+        value=float(r["value"]),
+    )
+
+
+def save_trace_jsonl(requests: Iterable[Request], num_slots: int, path: str | Path) -> None:
+    """Write a streaming trace: a header line, then one request per line.
+
+    Accepts any iterable, so a generator can be spooled to disk without
+    ever holding the full request stream in memory.
+    """
+    if num_slots < 1:
+        raise WorkloadError(f"num_slots must be >= 1, got {num_slots}")
+    header = {"format_version": _FORMAT_VERSION, "num_slots": num_slots}
+    with Path(path).open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for req in requests:
+            handle.write(json.dumps(_request_to_dict(req)) + "\n")
+
+
+def iter_trace_jsonl(path: str | Path) -> Iterator[Request]:
+    """Lazily yield the requests of a :func:`save_trace_jsonl` trace.
+
+    Only one line is parsed at a time, so traces far larger than memory
+    stream fine.  The header is validated before the first request is
+    yielded; use :func:`trace_jsonl_header` when the cycle length is needed.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        _read_jsonl_header(handle, path)
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _request_from_dict(json.loads(line))
+
+
+def trace_jsonl_header(path: str | Path) -> dict[str, Any]:
+    """The header dict (``format_version``, ``num_slots``) of a JSONL trace."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return _read_jsonl_header(handle, path)
+
+
+def _read_jsonl_header(handle, path) -> dict[str, Any]:
+    first = handle.readline()
+    try:
+        header = json.loads(first) if first.strip() else None
+    except json.JSONDecodeError:
+        header = None
+    if not isinstance(header, dict):
+        raise WorkloadError(f"{path}: not a JSONL trace (bad header line)")
+    version = header.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise WorkloadError(f"unsupported trace format version: {version!r}")
+    if "num_slots" not in header:
+        raise WorkloadError(f"{path}: JSONL trace header missing num_slots")
+    return header
+
+
+def load_trace_jsonl(path: str | Path) -> RequestSet:
+    """Materialize a JSONL trace into a :class:`RequestSet`."""
+    header = trace_jsonl_header(path)
+    return RequestSet(iter_trace_jsonl(path), int(header["num_slots"]))
+
+
+def arrival_stream(
+    requests: Iterable[Request],
+) -> Iterator[tuple[int, list[Request]]]:
+    """Group a request stream into per-slot arrival batches.
+
+    Yields ``(slot, batch)`` pairs in increasing slot order, one per slot
+    that has at least one arrival.  The input must be sorted by ``start``
+    (generators and saved traces are); an out-of-order request raises
+    :class:`WorkloadError` rather than silently merging batches — an online
+    provider cannot decide a bid that "arrived in the past".
+    """
+    batch: list[Request] = []
+    current: int | None = None
+    for req in requests:
+        if current is not None and req.start < current:
+            raise WorkloadError(
+                f"request {req.request_id} arrives at slot {req.start}, "
+                f"after slot {current} was already dispatched"
+            )
+        if req.start != current:
+            if batch:
+                yield current, batch
+            batch = []
+            current = req.start
+        batch.append(req)
+    if batch:
+        yield current, batch

@@ -1,8 +1,10 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
-from repro.experiments.cli import build_parser, main
+from repro.experiments.cli import build_parser, build_serve_parser, main
 
 
 class TestParser:
@@ -58,3 +60,83 @@ class TestMain:
         assert code == 0
         assert report.exists()
         assert "## fig3" in report.read_text()
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.topology == "b4"
+        assert args.duration == 12
+        assert args.workers == 0
+        assert args.cache_size == 1024
+
+    def test_serve_smoke(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--topology",
+                "sub-b4",
+                "--duration",
+                "6",
+                "--requests",
+                "8",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve: sub-b4" in out
+        assert "decisions/sec" in out
+        assert "cache hit rate" in out
+
+    def test_serve_telemetry_dump(self, tmp_path, capsys):
+        out_path = tmp_path / "telemetry.json"
+        code = main(
+            [
+                "serve",
+                "--topology",
+                "sub-b4",
+                "--duration",
+                "6",
+                "--requests",
+                "5",
+                "--seed",
+                "2",
+                "--telemetry",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["cycles"] == 1
+        assert "latency_p95_ms" in payload["summary"]
+
+    def test_serve_trace_replay(self, tmp_path, capsys):
+        from repro.net.topologies import sub_b4
+        from repro.workload.generator import WorkloadConfig, generate_workload
+        from repro.workload.traces import save_trace_jsonl
+
+        workload = generate_workload(
+            sub_b4(), WorkloadConfig(num_requests=6, num_slots=6), rng=4
+        )
+        trace = tmp_path / "trace.jsonl"
+        save_trace_jsonl(workload, workload.num_slots, trace)
+        code = main(
+            [
+                "serve",
+                "--topology",
+                "sub-b4",
+                "--cycles",
+                "2",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cycle(s)" in out
+
+    def test_serve_bad_topology_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--topology", "nope"])

@@ -125,3 +125,27 @@ class TestMixedIntegerPrograms:
         m.set_objective(x + 0, maximize=True)
         sol = m.solve(time_limit=10.0)
         assert sol.objective == pytest.approx(5.0)
+
+    def test_time_limit_accepted_on_lp_path(self):
+        m = Model()
+        x = m.add_var("x", 0, 10)
+        m.add_constr(x <= 5)
+        m.set_objective(x + 0, maximize=True)
+        sol = m.solve(time_limit=10.0)
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_check_cancelled_aborts_before_dispatch(self):
+        from repro.exceptions import SolverError
+
+        m = Model()
+        x = m.add_var("x", 0, 10)
+        m.set_objective(x + 0, maximize=True)
+        with pytest.raises(SolverError, match="cancelled"):
+            m.solve(check_cancelled=lambda: True)
+
+    def test_check_cancelled_false_is_noop(self):
+        m = Model()
+        x = m.add_var("x", 0, 5)
+        m.set_objective(x + 0, maximize=True)
+        sol = m.solve(check_cancelled=lambda: False)
+        assert sol.objective == pytest.approx(5.0)

@@ -1,0 +1,237 @@
+"""Tests for the service-layer components: clock, cache, ingest, telemetry, pool."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import SPMInstance
+from repro.exceptions import WorkloadError
+from repro.service.cache import DecisionCache
+from repro.service.clock import SimClock, Tick
+from repro.service.ingest import AdmissionQueue, GeneratorSource, TraceSource
+from repro.service.pool import SolverPool
+from repro.service.telemetry import BatchRecord, TelemetryCollector
+from repro.workload.generator import WorkloadConfig
+from repro.workload.request import RequestSet
+
+from tests.conftest import make_request
+
+
+class TestSimClock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimClock(0)
+        with pytest.raises(ValueError):
+            SimClock(12, window=0)
+        with pytest.raises(ValueError):
+            SimClock(12, num_cycles=0)
+
+    def test_windows_partition_cycle(self):
+        clock = SimClock(10, window=4)
+        ticks = list(clock.windows(0))
+        assert [(t.window_start, t.window_stop) for t in ticks] == [
+            (0, 4), (4, 8), (8, 10),
+        ]
+        covered = [s for t in ticks for s in t.slots]
+        assert covered == list(range(10))
+
+    def test_ticks_roll_across_cycles(self):
+        clock = SimClock(3, window=2, num_cycles=2)
+        ticks = list(clock.ticks())
+        assert [t.cycle for t in ticks] == [0, 0, 1, 1]
+        assert clock.windows_per_cycle == 2
+        assert clock.total_slots == 6
+
+    def test_window_of(self):
+        clock = SimClock(10, window=4)
+        assert [clock.window_of(s) for s in (0, 3, 4, 9)] == [0, 0, 1, 2]
+        with pytest.raises(ValueError):
+            clock.window_of(10)
+
+    def test_slot_by_slot_default(self):
+        ticks = list(SimClock(5).windows(0))
+        assert len(ticks) == 5
+        assert all(t.window_stop - t.window_start == 1 for t in ticks)
+
+
+@pytest.fixture
+def tiny_instance(diamond):
+    requests = RequestSet(
+        [make_request(0, rate=0.3, value=1.0), make_request(1, rate=0.4, value=2.0)],
+        num_slots=2,
+    )
+    return SPMInstance.build(diamond, requests, k_paths=2)
+
+
+class TestDecisionCache:
+    def test_roundtrip_and_counters(self, tiny_instance):
+        cache = DecisionCache(maxsize=4)
+        state = np.zeros((tiny_instance.num_edges, 2))
+        charged = np.zeros(tiny_instance.num_edges)
+        key = cache.make_key(tiny_instance, [0, 1], state, charged)
+        assert cache.get(key) is None
+        cache.put(key, [0, None])
+        assert cache.get(key) == (0, None)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_state_fingerprint_sensitivity(self, tiny_instance):
+        state = np.zeros((tiny_instance.num_edges, 2))
+        charged = np.zeros(tiny_instance.num_edges)
+        base = DecisionCache.state_fingerprint(state, charged)
+        state[0, 0] = 0.25
+        assert DecisionCache.state_fingerprint(state, charged) != base
+        state[0, 0] = 0.0
+        charged[0] = 1.0
+        assert DecisionCache.state_fingerprint(state, charged) != base
+
+    def test_batch_signature_is_id_free(self, diamond):
+        # Two requests identical except for their ids sign the same.
+        a = RequestSet([make_request(5, rate=0.3, value=1.0)], num_slots=1)
+        b = RequestSet([make_request(9, rate=0.3, value=1.0)], num_slots=1)
+        inst_a = SPMInstance.build(diamond, a, k_paths=2)
+        inst_b = SPMInstance.build(diamond, b, k_paths=2)
+        assert DecisionCache.batch_signature(
+            inst_a, [5]
+        ) == DecisionCache.batch_signature(inst_b, [9])
+
+    def test_lru_eviction(self):
+        cache = DecisionCache(maxsize=2)
+        cache.put((b"a", ()), [0])
+        cache.put((b"b", ()), [1])
+        assert cache.get((b"a", ())) is not None  # refresh a
+        cache.put((b"c", ()), [2])  # evicts b
+        assert (b"b", ()) not in cache
+        assert (b"a", ()) in cache and (b"c", ()) in cache
+        assert len(cache) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionCache(maxsize=0)
+
+
+class TestAdmissionQueue:
+    def test_fifo_drain(self):
+        queue = AdmissionQueue()
+        reqs = [make_request(i, start=0, end=0) for i in range(3)]
+        for r in reqs:
+            assert queue.offer(r)
+        assert queue.drain(2) == reqs[:2]
+        assert queue.drain() == reqs[2:]
+        assert not queue
+
+    def test_bounded_queue_sheds(self):
+        queue = AdmissionQueue(capacity=2)
+        reqs = [make_request(i, start=0, end=0) for i in range(4)]
+        outcomes = [queue.offer(r) for r in reqs]
+        assert outcomes == [True, True, False, False]
+        assert queue.shed == 2
+        assert len(queue) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue().drain(0)
+
+
+class TestSources:
+    def test_generator_source_deterministic_per_cycle(self, sub_b4_topology):
+        config = WorkloadConfig(num_requests=10, num_slots=6)
+        source = GeneratorSource(sub_b4_topology, config, seed=3)
+        again = GeneratorSource(sub_b4_topology, config, seed=3)
+        first = source.cycle(2)
+        assert [r.value for r in first] == [r.value for r in again.cycle(2)]
+        # Different cycles draw different workloads.
+        assert [r.value for r in first] != [r.value for r in source.cycle(3)]
+
+    def test_trace_source_repeat(self, diamond_requests):
+        source = TraceSource(diamond_requests)
+        assert source.cycle(0) is diamond_requests
+        assert source.cycle(5) is diamond_requests
+
+    def test_trace_source_once(self, diamond_requests):
+        source = TraceSource(diamond_requests, repeat=False)
+        assert len(source.cycle(0)) == len(diamond_requests)
+        later = source.cycle(1)
+        assert len(later) == 0
+        assert later.num_slots == diamond_requests.num_slots
+
+    def test_trace_source_from_jsonl(self, diamond_requests, tmp_path):
+        from repro.workload.traces import save_trace_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(diamond_requests, diamond_requests.num_slots, path)
+        source = TraceSource(path)
+        assert [r.request_id for r in source.cycle(0)] == [0, 1, 2]
+
+    def test_trace_source_rejects_junk(self):
+        with pytest.raises(WorkloadError):
+            TraceSource(42)
+
+
+def _record(cycle=0, size=2, accepted=1, solver_seconds=0.01, cache_hit=False,
+            revenue=1.5, incremental_cost=1.0, shed=0):
+    return BatchRecord(
+        cycle=cycle, window_start=0, size=size, accepted=accepted,
+        declined=size - accepted, shed=shed, revenue=revenue,
+        incremental_cost=incremental_cost, solver_seconds=solver_seconds,
+        cache_hit=cache_hit,
+    )
+
+
+class TestTelemetry:
+    def test_summary_math(self):
+        collector = TelemetryCollector()
+        collector.record_batch(_record(solver_seconds=0.01))
+        collector.record_batch(_record(solver_seconds=0.03, cache_hit=True))
+        collector.record_cycle(0, 1.0)
+        collector.wall_seconds = 2.0
+        summary = collector.summary()
+        assert summary["decisions"] == 4
+        assert summary["accepted"] == 2
+        assert summary["cache_hit_rate"] == 0.5
+        assert summary["decisions_per_sec"] == pytest.approx(2.0)
+        assert summary["profit"] == 1.0
+        assert summary["latency_max_ms"] == pytest.approx(30.0)
+        assert summary["latency_p50_ms"] == pytest.approx(20.0)
+
+    def test_empty_summary(self):
+        summary = TelemetryCollector().summary()
+        assert summary["decisions"] == 0
+        assert summary["cache_hit_rate"] == 0.0
+        assert summary["decisions_per_sec"] == 0.0
+
+    def test_dump_json(self, tmp_path):
+        import json
+
+        collector = TelemetryCollector()
+        collector.record_batch(_record())
+        collector.record_cycle(0, 0.5)
+        out = tmp_path / "telemetry.json"
+        collector.dump_json(out)
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["batches"] == 1
+        assert payload["batches"][0]["size"] == 2
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestSolverPool:
+    def test_map_preserves_order(self):
+        with SolverPool(2, cache_size=0) as pool:
+            assert pool.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_failure_propagates_and_cancels(self):
+        with pytest.raises(RuntimeError, match="task 1 failed"):
+            with SolverPool(2, cache_size=0) as pool:
+                pool.map(_boom, [1, 2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolverPool(0)

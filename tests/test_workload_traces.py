@@ -8,10 +8,15 @@ from repro.exceptions import WorkloadError
 from repro.net.topologies import sub_b4
 from repro.workload.generator import WorkloadConfig, generate_workload
 from repro.workload.traces import (
+    arrival_stream,
+    iter_trace_jsonl,
     load_trace,
+    load_trace_jsonl,
     requests_from_dicts,
     requests_to_dicts,
     save_trace,
+    save_trace_jsonl,
+    trace_jsonl_header,
 )
 
 
@@ -53,3 +58,67 @@ class TestFileRoundTrip:
         payload = json.loads(path.read_text())
         assert payload["num_slots"] == 12
         assert len(payload["requests"]) == 15
+
+
+class TestJsonlStreaming:
+    def test_roundtrip(self, workload, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(workload, workload.num_slots, path)
+        restored = load_trace_jsonl(path)
+        assert restored.num_slots == workload.num_slots
+        assert [r.request_id for r in restored] == [r.request_id for r in workload]
+        assert restored.total_value == pytest.approx(workload.total_value)
+
+    def test_iter_is_lazy(self, workload, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(workload, workload.num_slots, path)
+        iterator = iter_trace_jsonl(path)
+        first = next(iterator)
+        assert first.request_id == workload.requests[0].request_id
+        assert len(list(iterator)) == len(workload) - 1
+
+    def test_accepts_generator_input(self, workload, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl((r for r in workload), workload.num_slots, path)
+        header = trace_jsonl_header(path)
+        assert header["num_slots"] == workload.num_slots
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(WorkloadError, match="header"):
+            list(iter_trace_jsonl(path))
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format_version": 99, "num_slots": 4}\n')
+        with pytest.raises(WorkloadError, match="format version"):
+            list(iter_trace_jsonl(path))
+
+    def test_missing_num_slots_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format_version": 1}\n')
+        with pytest.raises(WorkloadError, match="num_slots"):
+            trace_jsonl_header(path)
+
+
+class TestArrivalStream:
+    def test_groups_by_start_slot(self, workload):
+        batches = list(arrival_stream(workload))
+        slots = [slot for slot, _ in batches]
+        assert slots == sorted(set(r.start for r in workload))
+        regrouped = [r.request_id for _, batch in batches for r in batch]
+        assert regrouped == [r.request_id for r in workload]
+
+    def test_empty_stream(self):
+        assert list(arrival_stream([])) == []
+
+    def test_out_of_order_rejected(self):
+        from tests.conftest import make_request
+
+        requests = [
+            make_request(0, start=2, end=3),
+            make_request(1, start=1, end=3),
+        ]
+        with pytest.raises(WorkloadError, match="arrived? at slot|arrives at slot"):
+            list(arrival_stream(requests))
