@@ -1,19 +1,35 @@
 """Benchmark of the online extension: slot-by-slot exact admission.
 
-Tracks the cost of the per-batch MILPs and asserts the dominance chain
-(online <= offline OPT) at benchmark scale.
+Tracks the cost of the per-batch MILPs, asserts the dominance chain
+(online <= offline OPT) at benchmark scale, and pins the array-native
+batch-compilation speedup over the expression reference build.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a shrunken configuration (CI smoke):
+same assertions on equivalence and dominance, relaxed speedup floor.
 """
 
+import os
+import time
+
+import numpy as np
 import pytest
 
 from repro.baselines.opt import solve_opt_spm
-from repro.core.online import OnlineScheduler
+from repro.core.online import (
+    OnlineScheduler,
+    build_incremental_spm,
+    commit_decision,
+    solve_batch,
+)
 from repro.experiments.common import ExperimentConfig, make_instance
 from repro.workload.value_models import FlatRateValueModel
 
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_NUM_REQUESTS = 20 if _SMOKE else 60
+
 _CFG = ExperimentConfig(
     topology="sub-b4",
-    request_counts=(60,),
+    request_counts=(_NUM_REQUESTS,),
     value_model=FlatRateValueModel(1.0),
     time_limit=240.0,
 )
@@ -21,7 +37,7 @@ _CFG = ExperimentConfig(
 
 @pytest.fixture(scope="module")
 def instance():
-    return make_instance(_CFG, 60)
+    return make_instance(_CFG, _NUM_REQUESTS)
 
 
 def test_online_scheduler(benchmark, instance):
@@ -35,4 +51,65 @@ def test_online_scheduler(benchmark, instance):
     print(
         f"\nonline profit {outcome.profit:.2f} vs offline OPT "
         f"{offline.profit:.2f} ({outcome.profit / max(offline.profit, 1e-9):.0%})"
+    )
+
+
+def test_fast_build_speedup(benchmark, instance):
+    """Array-native batch compilation vs the expression reference build.
+
+    One full pass = every arrival batch of the workload compiled once.
+    The fast path must produce identical decisions (checked batch by batch
+    on an evolving residual state) and build at least 5x faster (2x in
+    smoke mode, where tiny batches shrink the expression path's per-term
+    disadvantage).
+    """
+    by_start: dict[int, list[int]] = {}
+    for req in instance.requests:
+        by_start.setdefault(req.start, []).append(req.request_id)
+    batches = [by_start[slot] for slot in sorted(by_start)]
+    compiler = instance.batch_compiler()
+
+    committed = np.zeros((instance.num_edges, instance.num_slots))
+    charged = np.zeros(instance.num_edges)
+    for batch in batches:
+        fast = solve_batch(instance, batch, committed, charged, fast_path=True)
+        expr = solve_batch(instance, batch, committed, charged, fast_path=False)
+        assert fast.choices == expr.choices, (
+            "fast and expression builds must decide identically"
+        )
+        assert fast.objective == pytest.approx(expr.objective)
+        commit_decision(instance, batch, list(fast.choices), committed, charged)
+
+    def build_expr():
+        for batch in batches:
+            build_incremental_spm(instance, batch, committed, charged)[0].compile()
+
+    def build_fast():
+        for batch in batches:
+            compiler.compile_batch(batch, committed, charged)
+
+    def best_of(fn, rounds):
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    rounds = 5 if _SMOKE else 20
+    build_expr(), build_fast()  # warm-up
+    t_expr = best_of(build_expr, rounds)
+    t_fast = best_of(build_fast, rounds)
+    benchmark.pedantic(build_fast, rounds=rounds, iterations=1)
+
+    speedup = t_expr / t_fast
+    print(
+        f"\nbatch model build over {len(batches)} batches: "
+        f"expression {t_expr * 1e3:.2f} ms, fast {t_fast * 1e3:.2f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    floor = 2.0 if _SMOKE else 5.0
+    assert speedup >= floor, (
+        f"fast path built only {speedup:.1f}x faster than the expression "
+        f"path (floor {floor}x)"
     )

@@ -7,6 +7,10 @@ Reports the service baseline every future perf PR moves against:
 * decision-cache hit rate under periodic (trace-replay) traffic;
 * the solver worker pool's multi-cycle speedup over the single-process
   path on the same workload (asserted, not just printed).
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a shrunken configuration (CI smoke):
+fewer cycles and requests, and the pool wall-clock assertion reduced to
+decision equivalence (shared CI runners make wall-clock flaky).
 """
 
 import os
@@ -26,12 +30,14 @@ def _available_cores():
         return os.cpu_count() or 1
 
 
-_CYCLES = 8
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_CYCLES = 3 if _SMOKE else 8
+_REQUESTS = 20 if _SMOKE else 60
 _BASE = dict(
     topology="sub-b4",
     num_cycles=_CYCLES,
     slots_per_cycle=12,
-    requests_per_cycle=60,
+    requests_per_cycle=_REQUESTS,
     seed=2019,
     time_limit=240.0,
 )
@@ -52,7 +58,7 @@ def test_broker_sustained_throughput(benchmark):
     broker = Broker(BrokerConfig(**_BASE))
     report = benchmark.pedantic(broker.run, rounds=1, iterations=1)
     summary = report.summary()
-    assert summary["decisions"] == _CYCLES * _BASE["requests_per_cycle"]
+    assert summary["decisions"] == _CYCLES * _REQUESTS
     assert summary["profit"] > 0.0
     assert summary["decisions_per_sec"] > 0.0
     _report_line("serial", summary)
@@ -63,7 +69,7 @@ def test_broker_cache_hit_rate(benchmark):
     workload = generate_workload(
         sub_b4(),
         WorkloadConfig(
-            num_requests=60, num_slots=12, max_duration=4,
+            num_requests=_REQUESTS, num_slots=12, max_duration=4,
             value_model=FlatRateValueModel(1.8),
         ),
         rng=11,
@@ -99,10 +105,11 @@ def test_worker_pool_speedup(benchmark):
     )
     print(f"pool(4) speedup over serial: {speedup:.2f}x")
     cores = _available_cores()
-    if cores < 2:
+    if _SMOKE or cores < 2:
         pytest.skip(
-            f"pool speedup needs >= 2 CPU cores, have {cores} "
-            "(decision equivalence verified above)"
+            "pool wall-clock assertion skipped "
+            f"(smoke={_SMOKE}, cores={cores}); "
+            "decision equivalence verified above"
         )
     assert pooled_summary["wall_seconds"] < serial_summary["wall_seconds"], (
         f"worker pool ({pooled_summary['wall_seconds']:.2f}s) should beat "

@@ -23,7 +23,14 @@ from repro.core.metis import (
     ProportionalLimiter,
 )
 from repro.core.hardness import spm_from_subset_sum, subset_from_solution
-from repro.core.online import OnlineOutcome, OnlineScheduler
+from repro.core.online import (
+    BatchDecision,
+    IncrementalBatchCompiler,
+    OnlineOutcome,
+    OnlineScheduler,
+    decide_batch,
+    solve_batch,
+)
 from repro.core.flexible import FlexibleResult, flexibility_gain, solve_flexible_spm
 from repro.core.bounds import (
     BoundReport,
@@ -53,6 +60,10 @@ __all__ = [
     "subset_from_solution",
     "OnlineOutcome",
     "OnlineScheduler",
+    "BatchDecision",
+    "IncrementalBatchCompiler",
+    "decide_batch",
+    "solve_batch",
     "FlexibleResult",
     "solve_flexible_spm",
     "flexibility_gain",

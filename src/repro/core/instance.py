@@ -64,6 +64,8 @@ class SPMInstance:
             ]
             for req_id, path_list in paths.items()
         }
+        # Lazily-built array-native batch compiler (see batch_compiler()).
+        self._batch_compiler = None
 
     # ----------------------------------------------------------- constructors
 
@@ -125,6 +127,21 @@ class SPMInstance:
     def uses_edge(self, request_id: int, path_idx: int, edge_idx: int) -> bool:
         """The incidence indicator ``I_{i,j,e}``."""
         return edge_idx in self.path_edges[request_id][path_idx]
+
+    def batch_compiler(self):
+        """The instance's array-native incremental-batch compiler, cached.
+
+        Precomputes every request's (path, edge, slot) incidence arrays
+        once, so the serving loop's per-batch MILPs assemble with
+        vectorized numpy operations instead of the expression layer.
+        Returns a :class:`repro.core.online.IncrementalBatchCompiler`
+        (imported lazily to avoid a module cycle).
+        """
+        if self._batch_compiler is None:
+            from repro.core.online import IncrementalBatchCompiler
+
+            self._batch_compiler = IncrementalBatchCompiler(self)
+        return self._batch_compiler
 
     # ---------------------------------------------------------------- loads
 

@@ -93,11 +93,16 @@ def solve_maa(
     *,
     rng: int | np.random.Generator | None = None,
     time_limit: float | None = None,
+    accept_feasible: bool = False,
 ) -> MAAResult:
     """Run Algorithm 1 (MAA) on ``instance``.
 
     ``time_limit`` (seconds) bounds the RL-SPM relaxation solve, so
-    serving-path callers can guarantee a decision deadline.
+    serving-path callers can guarantee a decision deadline.  By default a
+    limit-hit relaxation raises even when an incumbent exists (the
+    approximation ratios are stated against the true LP optimum);
+    ``accept_feasible=True`` rounds the incumbent weights instead —
+    explicitly trading the certificate for availability.
 
     Raises :class:`~repro.exceptions.InfeasibleError` if the relaxation is
     infeasible (cannot happen on strongly connected topologies with
@@ -108,7 +113,9 @@ def solve_maa(
     solution = problem.model.solve(time_limit=time_limit)
     if solution.status is SolveStatus.INFEASIBLE:
         raise InfeasibleError("RL-SPM relaxation is infeasible")
-    if not solution.is_optimal:
+    if not solution.is_optimal and not (
+        accept_feasible and solution.status is SolveStatus.FEASIBLE
+    ):
         raise SolverError(f"RL-SPM relaxation failed: {solution.status}")
 
     weights = fractional_x(problem, solution)

@@ -239,7 +239,10 @@ class Metis:
     descent of :func:`~repro.core.maa.improve_paths` on each rounding —
     both only ever lower the recorded cost.  ``time_limit`` (seconds) bounds
     every LP relaxation solve inside MAA/TAA, so a serving loop can put a
-    hard ceiling on one Metis invocation's solver time.
+    hard ceiling on one Metis invocation's solver time; by default a
+    limit-hit relaxation raises (the paper's guarantees are stated against
+    true LP optima), while ``accept_feasible=True`` lets MAA/TAA proceed
+    from limit-hit incumbents instead.
     """
 
     def __init__(
@@ -251,6 +254,7 @@ class Metis:
         local_search: bool = True,
         prune: bool = True,
         time_limit: float | None = None,
+        accept_feasible: bool = False,
     ) -> None:
         if theta < 1:
             raise ValueError(f"theta must be >= 1, got {theta}")
@@ -264,6 +268,7 @@ class Metis:
         self.local_search = local_search
         self.prune = prune
         self.time_limit = time_limit
+        self.accept_feasible = accept_feasible
 
     def _best_maa_schedule(
         self, instance: SPMInstance, rng: np.random.Generator
@@ -271,7 +276,10 @@ class Metis:
         best: Schedule | None = None
         for _ in range(self.maa_rounds):
             candidate = solve_maa(
-                instance, rng=rng, time_limit=self.time_limit
+                instance,
+                rng=rng,
+                time_limit=self.time_limit,
+                accept_feasible=self.accept_feasible,
             ).schedule
             if self.local_search:
                 improved = improve_paths(instance, candidate.assignment)
@@ -340,7 +348,12 @@ class Metis:
                 break
             capacities = shrunk
 
-            taa = solve_taa(current, capacities, time_limit=self.time_limit)
+            taa = solve_taa(
+                current,
+                capacities,
+                time_limit=self.time_limit,
+                accept_feasible=self.accept_feasible,
+            )
             taa_profit = taa.schedule.profit
             offer(taa.schedule, "taa", round_index)
 

@@ -18,6 +18,16 @@ implements that variant on top of the same substrate:
   load, exactly like the offline solutions, so online and offline profits
   are directly comparable.
 
+The batch MILP is built two ways.  :func:`build_incremental_spm` is the
+readable reference: dict-backed :class:`~repro.lp.expr.LinExpr` rows
+compiled per constraint.  :class:`IncrementalBatchCompiler` is the hot
+path: it precomputes each request's (path, edge, slot) incidence arrays
+once per instance and then emits the *identical* compiled sparse model
+per batch with vectorized numpy assembly — only the right-hand sides
+(residual headroom) change between batches.  Both produce the same
+matrix, so decisions are bitwise identical; the equivalence tests assert
+it.
+
 The online provider is myopic across slots (it cannot see future bids),
 so its profit is upper-bounded by offline OPT(SPM); the tests assert this
 dominance and the exactness of each batch step.
@@ -32,15 +42,20 @@ import numpy as np
 
 from repro.core.instance import SPMInstance
 from repro.core.schedule import Schedule
-from repro.exceptions import InfeasibleError, SolverError
+from repro.exceptions import InfeasibleError, SolverError, SolverTimeoutError
 from repro.lp.expr import LinExpr
-from repro.lp.model import Model
+from repro.lp.fastbuild import compile_coo
+from repro.lp.model import CompiledModel, Model
 from repro.lp.result import SolveStatus
+from repro.lp.solvers import solve_compiled_raw
 
 __all__ = [
     "OnlineOutcome",
     "OnlineScheduler",
+    "BatchDecision",
+    "IncrementalBatchCompiler",
     "build_incremental_spm",
+    "solve_batch",
     "decide_batch",
     "commit_decision",
 ]
@@ -56,7 +71,7 @@ def build_incremental_spm(
     committed_loads: np.ndarray,
     charged: np.ndarray,
 ):
-    """The incremental MILP for one arrival batch.
+    """The incremental MILP for one arrival batch (reference implementation).
 
     Decision variables: ``x[i, j]`` (binary path choice per batch request)
     and integer ``extra[e] >= 0``, the bandwidth units purchased beyond the
@@ -64,7 +79,9 @@ def build_incremental_spm(
     batch load at every (edge, slot) to ``charged[e] + extra[e]``; the
     objective is batch revenue minus the price of the extra units.
 
-    Returns ``(model, x_vars, extra_vars)``.
+    This is the expression-layer build the fast path
+    (:class:`IncrementalBatchCompiler`) is verified against.  Returns
+    ``(model, x_vars, extra_vars)``.
     """
     model = Model("incremental-spm")
     x_vars = {}
@@ -121,6 +138,249 @@ def build_incremental_spm(
     return model, x_vars, extra_vars
 
 
+class IncrementalBatchCompiler:
+    """Array-native builder for the incremental batch MILP.
+
+    Per instance (once): every request's flattened (path, edge) × slot
+    incidence — for each candidate path, each edge it crosses, each active
+    slot — as three parallel arrays: the ``edge * T + slot`` key, the local
+    path index (the request's x-column offset) and the rate coefficient.
+    Obtain the cached compiler via
+    :meth:`repro.core.instance.SPMInstance.batch_compiler`.
+
+    Per batch (:meth:`compile_batch`): concatenate the cached arrays of the
+    batch's requests, rank the touched (edge, slot) keys in first-appearance
+    order, and emit the compiled sparse model whose rows, columns, and
+    coefficients are *identical* to compiling
+    :func:`build_incremental_spm` — only assembled with vectorized numpy
+    instead of per-term Python.  The per-batch state (``committed_loads``,
+    ``charged``) enters solely through the cap-row right-hand sides.
+    """
+
+    def __init__(self, instance: SPMInstance) -> None:
+        self.instance = instance
+        num_slots = instance.num_slots
+        #: request_id -> (num_paths, pair_keys, pair_path_cols, pair_rates, value)
+        self._per_request: dict[int, tuple] = {}
+        for req in instance.requests:
+            rid = req.request_id
+            path_edges = instance.path_edges[rid]
+            entry_path = np.concatenate(
+                [
+                    np.full(edges.size, j, dtype=np.int64)
+                    for j, edges in enumerate(path_edges)
+                ]
+            )
+            entry_edge = np.concatenate(path_edges).astype(np.int64)
+            slots = np.arange(req.start, req.end + 1, dtype=np.int64)
+            # Cross product in (entry-major, slot-minor) order — the same
+            # nesting the expression build walks, so first-appearance order
+            # of (edge, slot) keys (and hence cap-row order) matches.
+            keys = np.repeat(entry_edge, slots.size) * num_slots + np.tile(
+                slots, entry_edge.size
+            )
+            cols = np.repeat(entry_path, slots.size)
+            rates = np.full(keys.size, float(req.rate))
+            self._per_request[rid] = (
+                len(path_edges), keys, cols, rates, float(req.value)
+            )
+
+    def compile_batch(
+        self,
+        batch_ids: list[int],
+        committed_loads: np.ndarray,
+        charged: np.ndarray,
+    ) -> tuple[CompiledModel, np.ndarray]:
+        """Compile one batch's MILP; returns ``(compiled, x_offsets)``.
+
+        ``x_offsets`` has ``len(batch_ids) + 1`` entries: request ``i`` of
+        the batch owns x-columns ``x_offsets[i]:x_offsets[i + 1]``, one per
+        candidate path in path order.  The ``extra`` columns for all edges
+        follow the x block, exactly as in the reference build.
+        """
+        instance = self.instance
+        num_slots = instance.num_slots
+        num_edges = instance.num_edges
+        per = [self._per_request[rid] for rid in batch_ids]
+        num_batch = len(batch_ids)
+
+        paths_per_req = np.array([p[0] for p in per], dtype=np.int64)
+        x_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(paths_per_req)]
+        )
+        num_x = int(x_offsets[-1])
+
+        # One <= 1 choice row per batch request, coefficient 1 per path.
+        choice_rows = np.repeat(np.arange(num_batch, dtype=np.int64), paths_per_req)
+        choice_cols = np.arange(num_x, dtype=np.int64)
+
+        # Touched (edge, slot) pairs across the batch, first-appearance rank.
+        pair_keys = np.concatenate([p[1] for p in per])
+        pair_cols = np.concatenate(
+            [x_offsets[i] + per[i][2] for i in range(num_batch)]
+        )
+        pair_data = np.concatenate([p[3] for p in per])
+        uniq_keys, first_pos, inverse = np.unique(
+            pair_keys, return_index=True, return_inverse=True
+        )
+        appearance = np.argsort(first_pos, kind="stable")
+        rank = np.empty(appearance.size, dtype=np.int64)
+        rank[appearance] = np.arange(appearance.size)
+        num_cap = uniq_keys.size
+        cap_edges = (uniq_keys // num_slots)[appearance]
+        cap_slots = (uniq_keys % num_slots)[appearance]
+
+        # Each cap row also carries -1 on its edge's integer extra column.
+        rows = np.concatenate(
+            [
+                choice_rows,
+                num_batch + rank[inverse],
+                num_batch + np.arange(num_cap, dtype=np.int64),
+            ]
+        )
+        cols = np.concatenate(
+            [choice_cols, pair_cols, num_x + cap_edges]
+        )
+        data = np.concatenate(
+            [np.ones(num_x), pair_data, -np.ones(num_cap)]
+        )
+
+        num_rows = num_batch + num_cap
+        row_upper = np.empty(num_rows)
+        row_upper[:num_batch] = 1.0
+        row_upper[num_batch:] = charged[cap_edges] - committed_loads[cap_edges, cap_slots]
+        row_lower = np.full(num_rows, -np.inf)
+
+        num_vars = num_x + num_edges
+        objective = np.empty(num_vars)
+        objective[:num_x] = np.repeat(
+            np.array([p[4] for p in per]), paths_per_req
+        )
+        objective[num_x:] = -instance.prices
+
+        var_upper = np.empty(num_vars)
+        var_upper[:num_x] = 1.0
+        var_upper[num_x:] = np.inf
+
+        compiled = compile_coo(
+            objective=objective,
+            maximize=True,
+            rows=rows,
+            cols=cols,
+            data=data,
+            num_rows=num_rows,
+            row_lower=row_lower,
+            row_upper=row_upper,
+            var_lower=np.zeros(num_vars),
+            var_upper=var_upper,
+            integrality=np.ones(num_vars, dtype=np.int8),
+            check=False,
+        )
+        return compiled, x_offsets
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """A decided batch: path choice per position plus solve provenance.
+
+    ``suboptimal`` flags a decision read from a limit-hit incumbent
+    (status ``FEASIBLE``): still a valid, capacity-respecting decision,
+    just without an optimality certificate.
+    """
+
+    choices: tuple
+    status: SolveStatus
+    objective: float
+
+    @property
+    def suboptimal(self) -> bool:
+        return self.status is SolveStatus.FEASIBLE
+
+
+def solve_batch(
+    instance: SPMInstance,
+    batch_ids: list[int],
+    committed_loads: np.ndarray,
+    charged: np.ndarray,
+    *,
+    time_limit: float | None = None,
+    check_cancelled=None,
+    accept_feasible: bool = True,
+    fast_path: bool = True,
+) -> BatchDecision:
+    """Decide one arrival batch; the full-provenance form of :func:`decide_batch`.
+
+    With ``fast_path`` (default) the MILP is assembled by the instance's
+    cached :class:`IncrementalBatchCompiler`; otherwise by the reference
+    expression build — the two are decision-identical.  With
+    ``accept_feasible`` (default) a solve that hits ``time_limit`` with an
+    incumbent returns it as a valid (possibly suboptimal) decision; set it
+    ``False`` for strict raise-on-non-optimal semantics.
+
+    Raises :class:`~repro.exceptions.SolverTimeoutError` when the limit is
+    hit with no usable incumbent, so callers (the broker) can decline the
+    batch instead of crashing.
+    """
+    if fast_path:
+        compiled, x_offsets = instance.batch_compiler().compile_batch(
+            batch_ids, committed_loads, charged
+        )
+        raw = solve_compiled_raw(
+            compiled, time_limit=time_limit, check_cancelled=check_cancelled
+        )
+        status, objective = raw.status, raw.objective
+        extract = lambda: _choices_from_x(raw.x, x_offsets)  # noqa: E731
+    else:
+        model, x_vars, _ = build_incremental_spm(
+            instance, batch_ids, committed_loads, charged
+        )
+        solution = model.solve(
+            time_limit=time_limit, check_cancelled=check_cancelled
+        )
+        status, objective = solution.status, solution.objective
+        extract = lambda: _choices_from_values(  # noqa: E731
+            instance, batch_ids, solution.values, x_vars
+        )
+
+    if status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError("incremental batch MILP infeasible")
+    if status is SolveStatus.OPTIMAL or (
+        accept_feasible and status is SolveStatus.FEASIBLE
+    ):
+        return BatchDecision(choices=extract(), status=status, objective=objective)
+    if status in (SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE):
+        raise SolverTimeoutError(
+            f"batch MILP hit its time limit ({status.value}, "
+            f"accept_feasible={accept_feasible})"
+        )
+    raise SolverError(f"batch MILP did not reach optimality: {status}")
+
+
+def _choices_from_x(x: np.ndarray, x_offsets: np.ndarray) -> tuple:
+    """Read per-request path choices from the raw fast-path solution."""
+    chosen = np.round(x[: x_offsets[-1]]) > 0.5
+    choices = []
+    for lo, hi in zip(x_offsets[:-1], x_offsets[1:]):
+        hit = np.flatnonzero(chosen[lo:hi])
+        choices.append(int(hit[0]) if hit.size else None)
+    return tuple(choices)
+
+
+def _choices_from_values(
+    instance: SPMInstance, batch_ids: list[int], values: dict, x_vars: dict
+) -> tuple:
+    """Read per-request path choices from the expression-path solution."""
+    choices = []
+    for request_id in batch_ids:
+        chosen = None
+        for path_idx in range(instance.num_paths(request_id)):
+            if values[x_vars[(request_id, path_idx)]] > 0.5:
+                chosen = path_idx
+                break
+        choices.append(chosen)
+    return tuple(choices)
+
+
 def decide_batch(
     instance: SPMInstance,
     batch_ids: list[int],
@@ -129,36 +389,28 @@ def decide_batch(
     *,
     time_limit: float | None = None,
     check_cancelled=None,
+    accept_feasible: bool = True,
+    fast_path: bool = True,
 ) -> list[int | None]:
-    """Decide one arrival batch exactly; chosen path index per batch position.
+    """Decide one arrival batch; chosen path index (or ``None``) per position.
 
-    Solves the incremental MILP of :func:`build_incremental_spm` and reads
-    the path choice (or ``None`` = declined) for every request of
-    ``batch_ids``, in order.  State arrays are not mutated — apply the
-    returned decision with :func:`commit_decision`.  The pure
-    state-in/decision-out shape is what lets :mod:`repro.service` cache
-    decisions and ship them across solver worker processes.
+    Thin list-returning wrapper over :func:`solve_batch` (same keyword
+    semantics).  State arrays are not mutated — apply the returned decision
+    with :func:`commit_decision`.  The pure state-in/decision-out shape is
+    what lets :mod:`repro.service` cache decisions and ship them across
+    solver worker processes.
     """
-    model, x_vars, _ = build_incremental_spm(
-        instance, batch_ids, committed_loads, charged
+    decision = solve_batch(
+        instance,
+        batch_ids,
+        committed_loads,
+        charged,
+        time_limit=time_limit,
+        check_cancelled=check_cancelled,
+        accept_feasible=accept_feasible,
+        fast_path=fast_path,
     )
-    solution = model.solve(time_limit=time_limit, check_cancelled=check_cancelled)
-    if solution.status is SolveStatus.INFEASIBLE:
-        raise InfeasibleError("incremental batch MILP infeasible")
-    if not solution.is_optimal:
-        raise SolverError(
-            f"batch MILP did not reach optimality: {solution.status}"
-        )
-
-    decision: list[int | None] = []
-    for request_id in batch_ids:
-        chosen = None
-        for path_idx in range(instance.num_paths(request_id)):
-            if solution.values[x_vars[(request_id, path_idx)]] > 0.5:
-                chosen = path_idx
-                break
-        decision.append(chosen)
-    return decision
+    return list(decision.choices)
 
 
 def commit_decision(
@@ -214,11 +466,18 @@ class OnlineScheduler:
     """Slot-by-slot exact-incremental admission.
 
     ``time_limit`` bounds each batch MILP (they are small — one slot's
-    arrivals); a timed-out batch raises rather than guessing.
+    arrivals); a limit-hit batch keeps its feasible incumbent when one
+    exists and raises :class:`~repro.exceptions.SolverTimeoutError`
+    otherwise, rather than guessing.  ``fast_path`` selects the
+    array-native model build (default; decision-identical to the
+    expression build).
     """
 
-    def __init__(self, *, time_limit: float | None = 60.0) -> None:
+    def __init__(
+        self, *, time_limit: float | None = 60.0, fast_path: bool = True
+    ) -> None:
         self.time_limit = time_limit
+        self.fast_path = fast_path
 
     def run(self, instance: SPMInstance) -> OnlineOutcome:
         """Process every arrival batch in slot order and return the outcome."""
@@ -252,7 +511,12 @@ class OnlineScheduler:
         assignment: dict[int, int | None],
     ) -> int:
         decision = decide_batch(
-            instance, batch, committed_loads, charged, time_limit=self.time_limit
+            instance,
+            batch,
+            committed_loads,
+            charged,
+            time_limit=self.time_limit,
+            fast_path=self.fast_path,
         )
         assignment.update(zip(batch, decision))
         return commit_decision(instance, batch, decision, committed_loads, charged)

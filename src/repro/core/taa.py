@@ -84,8 +84,17 @@ class TAAResult:
 
     @property
     def certified(self) -> bool:
-        """Whether Theorem 6's premise held (initial estimator below 1)."""
-        return self.estimator_initial < 0.0
+        """Whether Theorem 6's premise held (initial estimator below 1).
+
+        Degenerate early-return runs (empty instance, all-zero bids) never
+        build an estimator; they report ``estimator_initial = nan`` and are
+        *not* certified — no walk happened, so no Theorem 6 premise was
+        checked.
+        """
+        return (
+            not math.isnan(self.estimator_initial)
+            and self.estimator_initial < 0.0
+        )
 
 
 def solve_taa(
@@ -95,16 +104,27 @@ def solve_taa(
     fallback_mu: float = 0.5,
     augment: bool = True,
     time_limit: float | None = None,
+    accept_feasible: bool = False,
 ) -> TAAResult:
     """Run Algorithm 2 (TAA) on ``instance`` under ``capacities``.
 
     ``capacities`` must give a finite integer bandwidth for every directed
     edge of the instance.  TAA is deterministic: no RNG is involved.
-    ``time_limit`` (seconds) bounds the BL-SPM relaxation solve.
+    ``time_limit`` (seconds) bounds the BL-SPM relaxation solve; by
+    default a limit-hit relaxation raises even when an incumbent exists
+    (the rounding analysis assumes the true LP optimum ``I_hat``), but
+    ``accept_feasible=True`` proceeds from the incumbent weights —
+    explicitly trading the certificate for availability.
     """
     for key in instance.edges:
         cap = capacities.get(key)
-        if cap is None or cap < 0 or not isinstance(cap, (int, np.integer)):
+        # bool is an int subclass, but True/False are not valid capacities.
+        if (
+            cap is None
+            or isinstance(cap, bool)
+            or not isinstance(cap, (int, np.integer))
+            or cap < 0
+        ):
             raise AlgorithmError(
                 f"BL-SPM needs a finite non-negative integer capacity for every "
                 f"edge; edge {key!r} has {cap!r}"
@@ -113,14 +133,21 @@ def solve_taa(
         raise ValueError(f"fallback_mu must be in (0, 1), got {fallback_mu}")
 
     if instance.num_requests == 0:
+        # Degenerate: no estimator is built; nan marks "no walk happened"
+        # (certified is False — unlike -inf, nan never reads as a held
+        # Theorem 6 premise).
         empty = Schedule(instance, {})
-        return TAAResult(empty, dict(capacities), 0.0, 1.0, 0.0, -math.inf, -math.inf, 0)
+        return TAAResult(
+            empty, dict(capacities), 0.0, 1.0, 0.0, math.nan, math.nan, 0
+        )
 
     problem = build_bl_spm(instance, capacities, integral=False)
     solution = problem.model.solve(time_limit=time_limit)
     if solution.status is SolveStatus.INFEASIBLE:
         raise InfeasibleError("BL-SPM relaxation is infeasible")
-    if not solution.is_optimal:
+    if not solution.is_optimal and not (
+        accept_feasible and solution.status is SolveStatus.FEASIBLE
+    ):
         raise SolverError(f"BL-SPM relaxation failed: {solution.status}")
     weights = fractional_x(problem, solution)
     relaxation_revenue = float(solution.objective)
@@ -130,10 +157,12 @@ def solve_taa(
     value_max = max(req.value for req in requests)
     if value_max <= 0:
         # All bids are zero: declining everything is optimal and feasible.
+        # Degenerate like the empty case — nan, not certified.
         assignment = {req.request_id: None for req in requests}
         schedule = Schedule(instance, assignment)
         return TAAResult(
-            schedule, dict(capacities), relaxation_revenue, 1.0, 0.0, -math.inf, -math.inf, 0
+            schedule, dict(capacities), relaxation_revenue, 1.0, 0.0,
+            math.nan, math.nan, 0,
         )
 
     num_edges = instance.num_edges

@@ -19,6 +19,7 @@ __all__ = [
     "WorkloadError",
     "ModelError",
     "SolverError",
+    "SolverTimeoutError",
     "InfeasibleError",
     "UnboundedError",
     "ScheduleError",
@@ -61,6 +62,10 @@ class ModelError(ReproError):
 
 class SolverError(ReproError):
     """The underlying solver failed or returned an unusable status."""
+
+
+class SolverTimeoutError(SolverError):
+    """A bounded solve hit its limit without producing a usable incumbent."""
 
 
 class InfeasibleError(SolverError):

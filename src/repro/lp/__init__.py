@@ -8,6 +8,9 @@ this package provides the modeling surface those algorithms need:
 * :class:`Model` — collects variables/constraints, compiles to sparse
   matrices, and dispatches to ``scipy.optimize.linprog`` (pure LPs) or
   ``scipy.optimize.milp`` (with integer variables);
+* :func:`compile_coo` — the array-native fast path: assemble the same
+  compiled sparse form directly from COO triplets, bypassing the
+  expression layer entirely (solve with :func:`solve_compiled_raw`);
 * :func:`branch_and_bound` — an independent from-scratch MILP solver built
   on the LP relaxation, used to cross-check HiGHS in the test-suite.
 """
@@ -15,7 +18,9 @@ this package provides the modeling surface those algorithms need:
 from repro.lp.expr import LinExpr, Variable
 from repro.lp.constraint import Constraint
 from repro.lp.model import Model
-from repro.lp.result import Solution, SolveStatus
+from repro.lp.result import RawSolution, Solution, SolveStatus
+from repro.lp.fastbuild import compile_coo
+from repro.lp.solvers import solve_compiled, solve_compiled_raw
 from repro.lp.branch_and_bound import branch_and_bound
 from repro.lp.simplex import simplex_solve, simplex_solve_model
 
@@ -25,7 +30,11 @@ __all__ = [
     "Constraint",
     "Model",
     "Solution",
+    "RawSolution",
     "SolveStatus",
+    "compile_coo",
+    "solve_compiled",
+    "solve_compiled_raw",
     "branch_and_bound",
     "simplex_solve",
     "simplex_solve_model",

@@ -192,9 +192,11 @@ class Model:
 
         ``relax_integrality=True`` drops all integrality flags — the LP
         relaxation used by the approximation algorithms.  ``time_limit``
-        (seconds) caps both LP and MILP solves; a timed-out solve reports
-        ``SolveStatus.ERROR`` rather than a silently suboptimal answer.
-        ``check_cancelled`` is polled before dispatch (see
+        (seconds) caps both LP and MILP solves; a limit-hit solve reports
+        ``SolveStatus.FEASIBLE`` with the incumbent when one exists and
+        ``SolveStatus.TIME_LIMIT`` (no values) otherwise — never a silently
+        suboptimal answer presented as optimal.  ``check_cancelled`` is
+        polled before dispatch (see
         :func:`repro.lp.solvers.solve_compiled`).
         """
         from repro.lp.solvers import solve_compiled

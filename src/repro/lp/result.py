@@ -5,15 +5,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from repro.lp.expr import LinExpr, Variable
 
-__all__ = ["SolveStatus", "Solution"]
+__all__ = ["SolveStatus", "Solution", "RawSolution"]
 
 
 class SolveStatus(Enum):
-    """Normalized solver outcome."""
+    """Normalized solver outcome.
+
+    ``OPTIMAL`` is a proven optimum.  ``FEASIBLE`` means the solver hit its
+    iteration/time limit but returned an incumbent: a valid,
+    constraint-respecting solution that is merely possibly suboptimal.
+    ``TIME_LIMIT`` is a limit hit with *no* incumbent — the solve produced
+    nothing usable.
+    """
 
     OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    TIME_LIMIT = "time_limit"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ERROR = "error"
@@ -26,7 +37,8 @@ class Solution:
     ``objective`` is in the model's original sense (maximization objectives
     are reported as maximization values).  ``values`` maps every model
     variable to its solution value; integer variables from the MILP path are
-    rounded to exact ints.
+    rounded to exact ints.  For ``FEASIBLE`` results the objective and
+    values describe the incumbent.
     """
 
     status: SolveStatus
@@ -37,6 +49,11 @@ class Solution:
     def is_optimal(self) -> bool:
         return self.status is SolveStatus.OPTIMAL
 
+    @property
+    def is_feasible(self) -> bool:
+        """Whether a usable (optimal or incumbent) solution is present."""
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
     def __getitem__(self, var: Variable) -> float:
         return self.values[var]
 
@@ -45,3 +62,27 @@ class Solution:
         if isinstance(expr, Variable):
             return self.values[expr]
         return expr.value(self.values)
+
+
+@dataclass
+class RawSolution:
+    """An array-form result for models solved without the expression layer.
+
+    ``x`` is the raw solution vector in column order (``None`` when the
+    solve produced no usable point); integer columns are *not* rounded —
+    consumers index it directly.  Used by the fast compilation path
+    (:mod:`repro.lp.fastbuild`), whose compiled models carry no symbolic
+    :class:`~repro.lp.expr.Variable` objects to key a ``values`` dict with.
+    """
+
+    status: SolveStatus
+    objective: float
+    x: np.ndarray | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)

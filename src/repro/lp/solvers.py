@@ -4,6 +4,16 @@ Pure LPs dispatch to ``scipy.optimize.linprog(method="highs")``; models with
 integral variables go through ``scipy.optimize.milp``.  Both paths normalize
 scipy's status codes into :class:`~repro.lp.result.SolveStatus` and convert
 the objective back to the model's original sense.
+
+Two entry points share the same core:
+
+* :func:`solve_compiled` — the expression-layer path; returns a
+  :class:`~repro.lp.result.Solution` whose ``values`` dict is keyed by the
+  model's :class:`~repro.lp.expr.Variable` objects.
+* :func:`solve_compiled_raw` — the array-native path; returns a
+  :class:`~repro.lp.result.RawSolution` holding the raw column vector.
+  This is what the fast compilation path (:mod:`repro.lp.fastbuild`)
+  consumes, since its compiled models carry no symbolic variables.
 """
 
 from __future__ import annotations
@@ -13,41 +23,37 @@ from scipy import optimize, sparse
 
 from repro.exceptions import SolverError
 from repro.lp.model import CompiledModel
-from repro.lp.result import Solution, SolveStatus
+from repro.lp.result import RawSolution, Solution, SolveStatus
 
-__all__ = ["solve_compiled"]
+__all__ = ["solve_compiled", "solve_compiled_raw"]
 
-# scipy linprog status codes -> normalized status
-_LINPROG_STATUS = {
+#: scipy status code for "iteration or time limit reached" (both backends).
+#: Mapped to ``FEASIBLE`` when an incumbent is present, ``TIME_LIMIT``
+#: otherwise — never to ``ERROR``, so callers can keep a usable incumbent.
+_LIMIT_CODE = 1
+
+# scipy linprog/milp status codes -> normalized status (limit handled above)
+_STATUS = {
     0: SolveStatus.OPTIMAL,
-    1: SolveStatus.ERROR,  # iteration limit
     2: SolveStatus.INFEASIBLE,
     3: SolveStatus.UNBOUNDED,
     4: SolveStatus.ERROR,
 }
 
-# scipy milp status codes -> normalized status
-_MILP_STATUS = {
-    0: SolveStatus.OPTIMAL,
-    1: SolveStatus.ERROR,  # iteration/time limit
-    2: SolveStatus.INFEASIBLE,
-    3: SolveStatus.UNBOUNDED,
-    4: SolveStatus.ERROR,
-}
 
-
-def solve_compiled(
+def solve_compiled_raw(
     compiled: CompiledModel,
     *,
     time_limit: float | None = None,
     check_cancelled=None,
-) -> Solution:
-    """Solve a :class:`~repro.lp.model.CompiledModel` with HiGHS.
+) -> RawSolution:
+    """Solve a :class:`~repro.lp.model.CompiledModel`, returning raw arrays.
 
     ``time_limit`` (seconds) caps both paths: MILPs via ``scipy.optimize.milp``
     and LPs via HiGHS' own ``time_limit`` option, so serving-path solves are
-    always bounded.  A solve that hits the limit reports
-    ``SolveStatus.ERROR`` rather than a silently suboptimal answer.
+    always bounded.  A solve that hits the limit returns the incumbent with
+    status ``FEASIBLE`` when one exists, and ``TIME_LIMIT`` (no values)
+    otherwise — feasible incumbents are first-class, never discarded.
 
     ``check_cancelled`` is an optional zero-argument callable polled before
     the solver is dispatched; returning truthy raises
@@ -61,6 +67,30 @@ def solve_compiled(
     return _solve_linprog(compiled, time_limit=time_limit)
 
 
+def solve_compiled(
+    compiled: CompiledModel,
+    *,
+    time_limit: float | None = None,
+    check_cancelled=None,
+) -> Solution:
+    """Solve a compiled model and map the result back to model variables.
+
+    Same semantics as :func:`solve_compiled_raw` (which it wraps); the
+    returned :class:`~repro.lp.result.Solution` carries a ``values`` dict
+    keyed by the model's variables, with integer columns rounded to ints.
+    """
+    if len(compiled.variables) != compiled.c.size:
+        raise SolverError(
+            "compiled model has no symbolic variables (array-native "
+            "compilation); solve it with solve_compiled_raw instead"
+        )
+    raw = solve_compiled_raw(
+        compiled, time_limit=time_limit, check_cancelled=check_cancelled
+    )
+    values = _extract_values(compiled, raw.x) if raw.x is not None else {}
+    return Solution(status=raw.status, objective=raw.objective, values=values)
+
+
 def _extract_values(compiled: CompiledModel, x: np.ndarray) -> dict:
     values = {}
     for var, val in zip(compiled.variables, x):
@@ -71,13 +101,33 @@ def _extract_values(compiled: CompiledModel, x: np.ndarray) -> dict:
     return values
 
 
+def _finish(compiled: CompiledModel, result) -> RawSolution:
+    """Map a scipy result to a :class:`RawSolution` (shared by both paths)."""
+    if result.status == _LIMIT_CODE:
+        status = (
+            SolveStatus.FEASIBLE if result.x is not None else SolveStatus.TIME_LIMIT
+        )
+    else:
+        status = _STATUS.get(result.status, SolveStatus.ERROR)
+    if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE):
+        return RawSolution(status=status, objective=float("nan"))
+    if result.x is None:
+        raise SolverError(
+            f"solver reported {status.value} but returned no solution"
+        )
+    return RawSolution(
+        status=status,
+        objective=compiled.sign * float(result.fun) + compiled.objective_constant,
+        x=np.asarray(result.x),
+    )
+
+
 def _solve_linprog(
     compiled: CompiledModel, *, time_limit: float | None = None
-) -> Solution:
+) -> RawSolution:
     finite_eq = compiled.row_lower == compiled.row_upper
     a_matrix = compiled.a_matrix
 
-    constraints_ub = []
     rows_ub = ~finite_eq & np.isfinite(compiled.row_upper)
     rows_lb = ~finite_eq & np.isfinite(compiled.row_lower)
 
@@ -108,21 +158,12 @@ def _solve_linprog(
         method="highs",
         options=None if time_limit is None else {"time_limit": float(time_limit)},
     )
-    status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
-    if status is not SolveStatus.OPTIMAL:
-        return Solution(status=status, objective=float("nan"))
-    if result.x is None:
-        raise SolverError("linprog reported optimal but returned no solution")
-    return Solution(
-        status=SolveStatus.OPTIMAL,
-        objective=compiled.sign * float(result.fun) + compiled.objective_constant,
-        values=_extract_values(compiled, result.x),
-    )
+    return _finish(compiled, result)
 
 
 def _solve_milp(
     compiled: CompiledModel, *, time_limit: float | None = None
-) -> Solution:
+) -> RawSolution:
     constraints = optimize.LinearConstraint(
         compiled.a_matrix, compiled.row_lower, compiled.row_upper
     )
@@ -135,13 +176,4 @@ def _solve_milp(
         integrality=compiled.integrality,
         options=options,
     )
-    status = _MILP_STATUS.get(result.status, SolveStatus.ERROR)
-    if status is not SolveStatus.OPTIMAL:
-        return Solution(status=status, objective=float("nan"))
-    if result.x is None:
-        raise SolverError("milp reported optimal but returned no solution")
-    return Solution(
-        status=SolveStatus.OPTIMAL,
-        objective=compiled.sign * float(result.fun) + compiled.objective_constant,
-        values=_extract_values(compiled, result.x),
-    )
+    return _finish(compiled, result)

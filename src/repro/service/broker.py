@@ -36,8 +36,10 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.instance import SPMInstance
-from repro.core.online import commit_decision, decide_batch
+from repro.core.online import commit_decision, solve_batch
 from repro.core.schedule import Schedule
+from repro.exceptions import SolverTimeoutError
+from repro.lp.result import SolveStatus
 from repro.net.topologies import abilene, b4, sub_b4
 from repro.net.topology import Topology
 from repro.service import pool as pool_mod
@@ -85,7 +87,9 @@ class BrokerConfig:
     into admission windows; ``workers >= 2`` enables the process pool;
     ``cache_size=0`` disables the decision cache; ``queue_capacity`` and
     ``max_batch`` bound the admission queue and per-MILP batch size
-    (``None`` = unbounded).
+    (``None`` = unbounded).  ``fast_path`` selects the array-native batch
+    model build (default; decision-identical to the expression build,
+    kept as the reference).
     """
 
     topology: str | Topology = "b4"
@@ -104,6 +108,7 @@ class BrokerConfig:
     cache_size: int = 1024
     queue_capacity: int | None = None
     max_batch: int | None = None
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.num_cycles < 1:
@@ -165,12 +170,19 @@ def run_cycle(
     queue_capacity: int | None = None,
     max_batch: int | None = None,
     check_cancelled=None,
+    fast_path: bool = True,
 ) -> CycleResult:
     """Serve one billing cycle end to end; the broker's core loop.
 
     Deterministic given its inputs: batches form in arrival order, every
     decision is an exact MILP (or an exact cache replay), and the final
     accounting charges the ceiling of each edge's realized peak load.
+
+    Degrades gracefully under ``time_limit`` pressure instead of crashing
+    the serving loop: a limit-hit solve with a feasible incumbent keeps
+    the incumbent (recorded ``suboptimal``); a limit-hit solve with no
+    incumbent declines the whole batch (recorded ``timed_out``).  Only
+    proven-optimal decisions enter the cache.
     """
     t0 = time.perf_counter()
     instance = SPMInstance.build(topology, requests, k_paths=k_paths)
@@ -201,22 +213,34 @@ def run_cycle(
             solver_start = time.perf_counter()
             decision = None
             hit = False
+            timed_out = False
+            suboptimal = False
             key = None
             if cache is not None:
                 key = cache.make_key(instance, batch_ids, committed, charged)
                 decision = cache.get(key)
                 hit = decision is not None
             if decision is None:
-                decision = decide_batch(
-                    instance,
-                    batch_ids,
-                    committed,
-                    charged,
-                    time_limit=time_limit,
-                    check_cancelled=check_cancelled,
-                )
-                if cache is not None:
-                    cache.put(key, decision)
+                try:
+                    outcome = solve_batch(
+                        instance,
+                        batch_ids,
+                        committed,
+                        charged,
+                        time_limit=time_limit,
+                        check_cancelled=check_cancelled,
+                        fast_path=fast_path,
+                    )
+                except SolverTimeoutError:
+                    # No incumbent within the limit: decline the batch and
+                    # keep serving — never crash the broker cycle.
+                    decision = [None] * len(batch_ids)
+                    timed_out = True
+                else:
+                    decision = list(outcome.choices)
+                    suboptimal = outcome.suboptimal
+                    if cache is not None and outcome.status is SolveStatus.OPTIMAL:
+                        cache.put(key, decision)
             solver_seconds = time.perf_counter() - solver_start
 
             cost_before = float(prices @ charged)
@@ -242,6 +266,8 @@ def run_cycle(
                     incremental_cost=cost_after - cost_before,
                     solver_seconds=solver_seconds,
                     cache_hit=hit,
+                    timed_out=timed_out,
+                    suboptimal=suboptimal,
                 )
             )
             drained_any = True
@@ -285,7 +311,17 @@ def _cycle_worker(payload: tuple) -> CycleResult:
     Uses the worker's per-process decision cache and the pool's
     cooperative-cancellation flag (both installed by the pool initializer).
     """
-    topology, requests, cycle_index, window, k_paths, time_limit, queue_capacity, max_batch = payload
+    (
+        topology,
+        requests,
+        cycle_index,
+        window,
+        k_paths,
+        time_limit,
+        queue_capacity,
+        max_batch,
+        fast_path,
+    ) = payload
     return run_cycle(
         topology,
         requests,
@@ -297,6 +333,7 @@ def _cycle_worker(payload: tuple) -> CycleResult:
         queue_capacity=queue_capacity,
         max_batch=max_batch,
         check_cancelled=pool_mod.check_cancelled,
+        fast_path=fast_path,
     )
 
 
@@ -402,6 +439,7 @@ class Broker:
                 cache=cache,
                 queue_capacity=config.queue_capacity,
                 max_batch=config.max_batch,
+                fast_path=config.fast_path,
             )
             for index in range(config.num_cycles)
         ]
@@ -418,6 +456,7 @@ class Broker:
                 config.time_limit,
                 config.queue_capacity,
                 config.max_batch,
+                config.fast_path,
             )
             for index in range(config.num_cycles)
         ]

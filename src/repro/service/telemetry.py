@@ -23,7 +23,14 @@ __all__ = ["BatchRecord", "TelemetryCollector"]
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """Counters of one decided admission batch."""
+    """Counters of one decided admission batch.
+
+    ``timed_out`` marks a batch whose solve hit its time limit with no
+    usable incumbent — the broker declined the whole batch rather than
+    crash.  ``suboptimal`` marks a batch decided from a limit-hit feasible
+    incumbent: a valid, capacity-respecting decision without an optimality
+    certificate.
+    """
 
     cycle: int
     window_start: int
@@ -35,6 +42,8 @@ class BatchRecord:
     incremental_cost: float
     solver_seconds: float
     cache_hit: bool
+    timed_out: bool = False
+    suboptimal: bool = False
 
 
 @dataclass
@@ -100,6 +109,8 @@ class TelemetryCollector:
             "profit_per_cycle": [
                 self._cycle_profit[c] for c in sorted(self._cycle_profit)
             ],
+            "timed_out_batches": sum(1 for r in self.batches if r.timed_out),
+            "suboptimal_batches": sum(1 for r in self.batches if r.suboptimal),
             "cache_hits": hits,
             "cache_misses": solved,
             "cache_hit_rate": hits / len(self.batches) if self.batches else 0.0,

@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
+import repro.core.online as online_mod
 from repro.baselines.opt import solve_opt_spm
 from repro.core.instance import SPMInstance
-from repro.core.online import OnlineScheduler, build_incremental_spm
+from repro.core.online import (
+    OnlineScheduler,
+    build_incremental_spm,
+    solve_batch,
+)
+from repro.exceptions import SolverTimeoutError
+from repro.lp.result import RawSolution, SolveStatus
 from repro.sim.validator import validate_schedule
 from repro.workload.request import RequestSet
 
@@ -100,3 +107,68 @@ class TestOnlineScheduler:
         outcome = OnlineScheduler().run(inst)
         assert outcome.num_accepted == 2
         assert outcome.profit == pytest.approx(2.4 - 2.0)
+
+    def test_fast_and_expression_paths_agree(self, small_sub_b4_instance):
+        fast = OnlineScheduler(fast_path=True).run(small_sub_b4_instance)
+        slow = OnlineScheduler(fast_path=False).run(small_sub_b4_instance)
+        assert fast.schedule.assignment == slow.schedule.assignment
+        assert fast.profit == pytest.approx(slow.profit)
+
+
+def _one_request_state(diamond):
+    requests = RequestSet([make_request(0, rate=0.3, value=5.0)], num_slots=1)
+    inst = SPMInstance.build(diamond, requests, k_paths=2)
+    return inst, np.zeros((inst.num_edges, 1)), np.zeros(inst.num_edges)
+
+
+class TestLimitHandling:
+    """solve_batch under limit-hit solves: keep incumbents, never guess."""
+
+    def test_timeout_without_incumbent_raises(self, diamond, monkeypatch):
+        monkeypatch.setattr(
+            online_mod,
+            "solve_compiled_raw",
+            lambda *a, **k: RawSolution(
+                status=SolveStatus.TIME_LIMIT, objective=float("nan")
+            ),
+        )
+        inst, committed, charged = _one_request_state(diamond)
+        with pytest.raises(SolverTimeoutError):
+            solve_batch(inst, [0], committed, charged, time_limit=1e-9)
+
+    def test_feasible_incumbent_accepted_and_flagged(self, diamond, monkeypatch):
+        inst, committed, charged = _one_request_state(diamond)
+        optimal = solve_batch(inst, [0], committed, charged)
+        assert optimal.status is SolveStatus.OPTIMAL
+        assert not optimal.suboptimal
+
+        real = online_mod.solve_compiled_raw
+
+        def relabel(*args, **kwargs):
+            raw = real(*args, **kwargs)
+            return RawSolution(
+                status=SolveStatus.FEASIBLE, objective=raw.objective, x=raw.x
+            )
+
+        monkeypatch.setattr(online_mod, "solve_compiled_raw", relabel)
+        decision = solve_batch(inst, [0], committed, charged)
+        assert decision.status is SolveStatus.FEASIBLE
+        assert decision.suboptimal
+        assert decision.choices == optimal.choices
+
+    def test_feasible_rejected_when_strict(self, diamond, monkeypatch):
+        inst, committed, charged = _one_request_state(diamond)
+        real = online_mod.solve_compiled_raw
+        monkeypatch.setattr(
+            online_mod,
+            "solve_compiled_raw",
+            lambda *a, **k: RawSolution(
+                status=SolveStatus.FEASIBLE,
+                objective=real(*a, **k).objective,
+                x=real(*a, **k).x,
+            ),
+        )
+        with pytest.raises(SolverTimeoutError, match="accept_feasible=False"):
+            solve_batch(
+                inst, [0], committed, charged, accept_feasible=False
+            )

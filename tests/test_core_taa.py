@@ -1,10 +1,16 @@
 """Tests for repro.core.taa (Algorithm 2)."""
 
+import math
+
 import pytest
 
 from repro.core.formulations import build_bl_spm
+from repro.core.instance import SPMInstance
 from repro.core.taa import solve_taa
 from repro.exceptions import AlgorithmError
+from repro.workload.request import RequestSet
+
+from tests.conftest import make_request
 
 
 def uniform_caps(instance, units):
@@ -99,3 +105,56 @@ class TestParameters:
         result = solve_taa(empty, uniform_caps(empty, 2))
         assert result.revenue == 0.0
         assert result.schedule.num_accepted == 0
+
+
+class TestCapacityTypeValidation:
+    def test_bool_capacity_rejected(self, small_sub_b4_instance):
+        # bool is an int subclass, but True is not a valid "1 unit".
+        caps = uniform_caps(small_sub_b4_instance, 5)
+        caps[next(iter(caps))] = True  # type: ignore[assignment]
+        with pytest.raises(AlgorithmError, match="integer capacity"):
+            solve_taa(small_sub_b4_instance, caps)
+
+    def test_numpy_integer_capacity_accepted(self, small_sub_b4_instance):
+        import numpy as np
+
+        caps = {key: np.int64(2) for key in small_sub_b4_instance.edges}
+        result = solve_taa(small_sub_b4_instance, caps)
+        result.schedule.check_capacities(caps)  # no raise
+
+
+class TestDegenerateCertification:
+    """Early-return runs build no estimator: nan, and never certified."""
+
+    def test_empty_instance_reports_nan_uncertified(
+        self, small_sub_b4_instance
+    ):
+        empty = small_sub_b4_instance.restrict([])
+        result = solve_taa(empty, uniform_caps(empty, 2))
+        assert math.isnan(result.estimator_initial)
+        assert math.isnan(result.estimator_final)
+        assert not result.certified
+
+    def test_all_zero_bids_reports_nan_uncertified(self, diamond):
+        requests = RequestSet(
+            [
+                make_request(0, rate=0.3, value=0.0),
+                make_request(1, rate=0.4, value=0.0),
+            ],
+            num_slots=1,
+        )
+        inst = SPMInstance.build(diamond, requests, k_paths=2)
+        result = solve_taa(inst, uniform_caps(inst, 1))
+        assert result.schedule.num_accepted == 0
+        assert result.revenue == 0.0
+        assert math.isnan(result.estimator_initial)
+        assert not result.certified
+
+    def test_regular_run_reports_finite_estimator(
+        self, small_sub_b4_instance
+    ):
+        result = solve_taa(
+            small_sub_b4_instance, uniform_caps(small_sub_b4_instance, 3)
+        )
+        assert not math.isnan(result.estimator_initial)
+        assert result.certified == (result.estimator_initial < 0.0)

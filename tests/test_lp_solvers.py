@@ -1,9 +1,13 @@
 """Tests for repro.lp.solvers — LP and MILP solves on known problems."""
 
+import math
+from types import SimpleNamespace
+
+import numpy as np
 import pytest
 
 from repro.lp.model import Model
-from repro.lp.result import SolveStatus
+from repro.lp.result import RawSolution, SolveStatus
 
 
 class TestLinearPrograms:
@@ -149,3 +153,77 @@ class TestMixedIntegerPrograms:
         m.set_objective(x + 0, maximize=True)
         sol = m.solve(check_cancelled=lambda: False)
         assert sol.objective == pytest.approx(5.0)
+
+
+def _bounded_milp():
+    m = Model()
+    x = m.add_var("x", 0, 10, is_integer=True)
+    m.add_constr(x <= 5)
+    m.set_objective(x + 0, maximize=True)
+    return m, x
+
+
+class TestLimitStatuses:
+    """scipy's limit code (1) maps to FEASIBLE-with-incumbent or TIME_LIMIT.
+
+    The scipy result is faked at the backend boundary so the mapping is
+    deterministic — real limit hits on problems this small are not.
+    """
+
+    def test_limit_with_incumbent_is_feasible(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.lp.solvers.optimize.milp",
+            lambda *a, **k: SimpleNamespace(
+                status=1, x=np.array([4.0]), fun=-4.0
+            ),
+        )
+        m, x = _bounded_milp()
+        sol = m.solve(time_limit=1.0)
+        assert sol.status is SolveStatus.FEASIBLE
+        assert sol.is_feasible and not sol.is_optimal
+        assert sol.objective == pytest.approx(4.0)
+        assert sol[x] == 4  # the incumbent is kept, not discarded
+
+    def test_limit_without_incumbent_is_time_limit(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.lp.solvers.optimize.milp",
+            lambda *a, **k: SimpleNamespace(status=1, x=None, fun=None),
+        )
+        m, _ = _bounded_milp()
+        sol = m.solve(time_limit=1.0)
+        assert sol.status is SolveStatus.TIME_LIMIT
+        assert not sol.is_feasible
+        assert math.isnan(sol.objective)
+        assert sol.values == {}
+
+    def test_lp_limit_without_incumbent_is_time_limit(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.lp.solvers.optimize.linprog",
+            lambda *a, **k: SimpleNamespace(status=1, x=None, fun=None),
+        )
+        m = Model()
+        x = m.add_var("x", 0, 5)
+        m.set_objective(x + 0, maximize=True)
+        sol = m.solve(time_limit=1.0)
+        assert sol.status is SolveStatus.TIME_LIMIT
+
+    def test_real_tiny_limit_never_raises(self):
+        # Whatever HiGHS manages within ~0 seconds, the statuses stay in
+        # the OPTIMAL/FEASIBLE/TIME_LIMIT triple — never an exception.
+        m, _ = _bounded_milp()
+        sol = m.solve(time_limit=1e-9)
+        assert sol.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.FEASIBLE,
+            SolveStatus.TIME_LIMIT,
+        )
+
+    def test_raw_solution_flags(self):
+        feas = RawSolution(
+            status=SolveStatus.FEASIBLE, objective=1.0, x=np.ones(1)
+        )
+        limit = RawSolution(
+            status=SolveStatus.TIME_LIMIT, objective=float("nan")
+        )
+        assert feas.is_feasible and not feas.is_optimal
+        assert not limit.is_feasible and limit.x is None

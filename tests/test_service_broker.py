@@ -2,10 +2,12 @@
 
 import pytest
 
+import repro.core.online as online_mod
 from repro.baselines.opt import solve_opt_spm
 from repro.core.online import OnlineScheduler
 from repro.core.schedule import Schedule
 from repro.exceptions import SolverError
+from repro.lp.result import RawSolution, SolveStatus
 from repro.service.broker import Broker, BrokerConfig, run_cycle
 from repro.service.cache import DecisionCache
 from repro.service.ingest import TraceSource
@@ -196,6 +198,75 @@ class TestCancellationAndLimits:
             cache=DecisionCache(8),
         )
         assert result.accepted + result.declined == instance.num_requests
+
+
+class TestGracefulDegradation:
+    """Limit-hit solves degrade to declines/incumbents, never crashes."""
+
+    def test_tiny_time_limit_completes_and_counts_timeouts(self):
+        config = BrokerConfig(
+            num_cycles=1, time_limit=1e-7, cache_size=0, **_SMALL
+        )
+        report = Broker(config).run()  # must not raise
+        summary = report.summary()
+        assert summary["accepted"] + summary["declined"] == summary["decisions"]
+        # ~0 seconds leaves no incumbent: every solved batch is declined
+        # and counted as timed out.
+        assert summary["timed_out_batches"] == summary["batches"]
+        assert summary["accepted"] == 0
+        assert report.profit == 0.0
+
+    def test_forced_timeout_declines_whole_batches(
+        self, small_sub_b4_instance, monkeypatch
+    ):
+        monkeypatch.setattr(
+            online_mod,
+            "solve_compiled_raw",
+            lambda *a, **k: RawSolution(
+                status=SolveStatus.TIME_LIMIT, objective=float("nan")
+            ),
+        )
+        instance = small_sub_b4_instance
+        result = run_cycle(
+            instance.topology, instance.requests, time_limit=1e-3
+        )
+        assert result.accepted == 0
+        assert all(b.timed_out for b in result.batches)
+        assert all(path is None for path in result.assignment.values())
+
+    def test_forced_suboptimal_is_flagged_and_not_cached(
+        self, small_sub_b4_instance, monkeypatch
+    ):
+        real = online_mod.solve_compiled_raw
+
+        def relabel(*args, **kwargs):
+            raw = real(*args, **kwargs)
+            return RawSolution(
+                status=SolveStatus.FEASIBLE, objective=raw.objective, x=raw.x
+            )
+
+        monkeypatch.setattr(online_mod, "solve_compiled_raw", relabel)
+        instance = small_sub_b4_instance
+        cache = DecisionCache(32)
+        first = run_cycle(instance.topology, instance.requests, cache=cache)
+        assert all(b.suboptimal for b in first.batches)
+        # Only proven-optimal decisions enter the cache, so a replay of the
+        # same cycle still solves every batch.
+        second = run_cycle(instance.topology, instance.requests, cache=cache)
+        assert not any(b.cache_hit for b in second.batches)
+        # The relabelled incumbents are the real optima, so the decisions
+        # themselves are unchanged.
+        assert first.assignment == second.assignment
+
+    def test_fast_path_off_matches_on(self):
+        on = Broker(BrokerConfig(num_cycles=1, **_SMALL)).run()
+        off = Broker(
+            BrokerConfig(num_cycles=1, fast_path=False, **_SMALL)
+        ).run()
+        assert on.decision_log() == off.decision_log()
+        assert on.profit == pytest.approx(off.profit)
+        assert on.summary()["suboptimal_batches"] == 0
+        assert on.summary()["timed_out_batches"] == 0
 
 
 class TestConfigValidation:
