@@ -86,6 +86,40 @@ def test_broker_cache_hit_rate(benchmark):
     _report_line("trace-replay", summary)
 
 
+def test_wal_overhead(benchmark, tmp_path):
+    """Journaling cost: wal-off vs wal-on at each fsync policy.
+
+    The WAL must never change decisions — only wall-clock.  The
+    benchmark reports the relative overhead of each durability level so
+    perf PRs can see whether journaling stays in the noise.
+    """
+    baseline = Broker(BrokerConfig(**_BASE)).run()
+    summaries = {"wal-off": baseline.summary()}
+    for policy in ("never", "batch", "always"):
+        config = BrokerConfig(
+            **_BASE, wal_path=tmp_path / f"{policy}.wal", fsync=policy
+        )
+        runner = Broker(config)
+        if policy == "batch":  # the default policy is the benchmarked row
+            report = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+        else:
+            report = runner.run()
+        assert report.decision_log() == baseline.decision_log(), (
+            f"fsync={policy}: journaling must not change decisions"
+        )
+        summaries[f"wal-{policy}"] = report.summary()
+    base_rate = summaries["wal-off"]["decisions_per_sec"]
+    for tag, summary in summaries.items():
+        _report_line(tag, summary)
+        if summary["wal_bytes"]:
+            slowdown = base_rate / max(summary["decisions_per_sec"], 1e-9)
+            print(
+                f"  {tag}: {summary['wal_bytes']} wal bytes, "
+                f"snapshots {summary['snapshot_seconds']:.3f}s, "
+                f"{slowdown:.2f}x vs wal-off"
+            )
+
+
 def test_worker_pool_speedup(benchmark):
     """Pool at 4 processes must out-throughput serial on the same workload."""
     serial = Broker(BrokerConfig(**_BASE)).run()

@@ -1,0 +1,112 @@
+"""Benchmark of the durability layer: journaling, crash, and recovery.
+
+Reports the numbers every durability PR moves against:
+
+* raw WAL append throughput (records/sec) at each fsync policy;
+* time to recover a crashed broker from snapshot + WAL tail, asserted
+  bit-identical to the uninterrupted run;
+* snapshot publish latency at the default cadence.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the shrunken CI configuration.  The
+crash-recovery benchmark feeds the ``BENCH_state.json`` CI artifact; the
+journal/recovery sizes are attached via ``benchmark.extra_info`` so the
+artifact is self-describing.
+"""
+
+import os
+
+import pytest
+
+from repro.service import Broker, BrokerConfig
+from repro.state import FaultPlan, Journal, SimulatedCrash, read_wal
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_CYCLES = 3 if _SMOKE else 6
+_REQUESTS = 12 if _SMOKE else 40
+_BASE = dict(
+    topology="sub-b4",
+    num_cycles=_CYCLES,
+    slots_per_cycle=8,
+    requests_per_cycle=_REQUESTS,
+    seed=2019,
+    time_limit=240.0,
+)
+_APPENDS = 500 if _SMOKE else 5000
+
+
+@pytest.mark.parametrize("policy", ["never", "batch", "always"])
+def test_journal_append_throughput(benchmark, tmp_path, policy):
+    """Raw WAL append rate per fsync policy (the durability/latency dial)."""
+    record = {
+        "type": "batch", "cycle": 0, "window_start": 0, "size": 8,
+        "accepted": 5, "declined": 3, "shed": 0, "revenue": 12.375,
+        "incremental_cost": 4.25, "solver_seconds": 0.018, "cache_hit": False,
+    }
+    path = tmp_path / f"{policy}.wal"
+
+    def append_burst():
+        with Journal.open(path, fsync=policy) as journal:
+            for _ in range(_APPENDS):
+                journal.append(record)
+            journal.commit()
+        path.unlink()
+
+    benchmark.pedantic(append_burst, rounds=1, iterations=1)
+    benchmark.extra_info["appends"] = _APPENDS
+    benchmark.extra_info["fsync"] = policy
+
+
+def test_crash_recovery_equivalence(benchmark, tmp_path):
+    """Kill the broker mid-run, recover, and time the recovery itself.
+
+    The resumed report must be bit-identical to an uninterrupted run —
+    the same invariant as tests/test_state_recovery.py, here with the
+    recovery cost measured and exported to the benchmark artifact.
+    """
+    baseline = Broker(BrokerConfig(**_BASE)).run()
+    crash_point = max(2, (_CYCLES * _REQUESTS) // 3)
+    config = BrokerConfig(**_BASE, wal_path=tmp_path / "broker.wal")
+    with pytest.raises(SimulatedCrash):
+        Broker(config, faults=FaultPlan(crash_after_batches=crash_point)).run()
+    wal_bytes_at_crash = config.wal_path.stat().st_size
+
+    resumed = benchmark.pedantic(
+        lambda: Broker(config).run(resume=True), rounds=1, iterations=1
+    )
+    assert resumed.decision_log() == baseline.decision_log()
+    assert resumed.profit == baseline.profit
+    for recovered, reference in zip(resumed.cycles, baseline.cycles):
+        assert recovered.purchased == reference.purchased
+
+    summary = resumed.summary()
+    benchmark.extra_info["crash_after_batches"] = crash_point
+    benchmark.extra_info["wal_bytes_at_crash"] = wal_bytes_at_crash
+    benchmark.extra_info["recovered_batches"] = summary["recovered_batches"]
+    benchmark.extra_info["snapshot_seconds"] = summary["snapshot_seconds"]
+    print(
+        f"\ncrash@{crash_point} batches: {wal_bytes_at_crash} wal bytes, "
+        f"{summary['recovered_batches']} batches recovered, "
+        f"resume profit {summary['profit']:.2f}"
+    )
+
+
+def test_recovery_scan_speed(benchmark, tmp_path):
+    """Cold WAL scan + replay of a completed run (snapshot deleted)."""
+    from repro.state import config_fingerprint, recover, snapshot_path
+
+    config = BrokerConfig(**_BASE, wal_path=tmp_path / "broker.wal")
+    Broker(config).run()
+    snapshot_path(config.wal_path).unlink()  # force the pure-WAL path
+    records = read_wal(config.wal_path)
+
+    state = benchmark.pedantic(
+        lambda: recover(
+            config.wal_path, fingerprint=config_fingerprint(config)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert not state.used_snapshot
+    assert state.next_cycle == _CYCLES
+    benchmark.extra_info["wal_records"] = len(records)
+    benchmark.extra_info["wal_bytes"] = config.wal_path.stat().st_size

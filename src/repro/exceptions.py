@@ -25,6 +25,10 @@ __all__ = [
     "ScheduleError",
     "CapacityViolationError",
     "AlgorithmError",
+    "StateError",
+    "JournalError",
+    "SnapshotError",
+    "RecoveryError",
 ]
 
 
@@ -86,3 +90,19 @@ class CapacityViolationError(ScheduleError):
 
 class AlgorithmError(ReproError):
     """An approximation algorithm could not complete (e.g. no valid mu)."""
+
+
+class StateError(ReproError):
+    """Durability-layer failure (journal, snapshot, or recovery)."""
+
+
+class JournalError(StateError):
+    """The write-ahead log could not be written or synced durably."""
+
+
+class SnapshotError(StateError):
+    """A snapshot could not be published or fails its checksum on load."""
+
+
+class RecoveryError(StateError):
+    """Recorded state is inconsistent with the requested configuration."""

@@ -17,6 +17,11 @@ over simulated billing cycles and prints its per-cycle ledger and
 telemetry summary::
 
     metis-repro serve --topology b4 --duration 288 --cycles 2 --workers 4
+
+With ``--wal`` the broker journals decisions for crash recovery and
+``--resume`` continues a killed run bit-identically (see repro.state)::
+
+    metis-repro serve --topology b4 --cycles 12 --wal broker.wal --resume
 """
 
 from __future__ import annotations
@@ -244,16 +249,46 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump the JSON telemetry report here",
     )
+    parser.add_argument(
+        "--wal",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal every decision to this write-ahead log "
+            "(enables crash recovery, see repro.state)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover committed cycles from --wal before serving the rest",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="publish an atomic state snapshot every N committed cycles",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("never", "batch", "always"),
+        default="batch",
+        help="WAL durability: fsync never, per cycle commit, or per record",
+    )
     return parser
 
 
 def run_serve(argv: Sequence[str] | None = None) -> int:
     """The ``serve`` subcommand: run the broker and print its report."""
-    from repro.exceptions import WorkloadError
+    from repro.exceptions import StateError, WorkloadError
     from repro.service import Broker, BrokerConfig, TraceSource
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
+    if args.resume and not args.wal:
+        parser.error("--resume requires --wal")
     try:
         config = BrokerConfig(
             topology=args.topology,
@@ -267,11 +302,18 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
             max_batch=args.max_batch,
             queue_capacity=args.queue_capacity,
             time_limit=args.time_limit,
+            wal_path=args.wal,
+            snapshot_every=args.snapshot_every,
+            fsync=args.fsync,
         )
         source = TraceSource(args.trace) if args.trace else None
     except (ValueError, OSError, WorkloadError) as exc:
         parser.error(str(exc))
-    report = Broker(config, source=source).run()
+    try:
+        report = Broker(config, source=source).run(resume=args.resume)
+    except StateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     headers = [
         "cycle", "requests", "accepted", "declined", "shed",
@@ -309,6 +351,14 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
         f"solver time {summary['solver_seconds']:.2f}s "
         f"of {summary['wall_seconds']:.2f}s wall"
     )
+    if args.wal:
+        line = (
+            f"wal {args.wal}: {summary['wal_bytes']} bytes "
+            f"(fsync={args.fsync}), snapshots {summary['snapshot_seconds']:.3f}s"
+        )
+        if args.resume:
+            line += f", {summary['recovered_batches']} batches recovered"
+        print(line)
     if args.telemetry:
         report.dump_telemetry(args.telemetry)
         print(f"telemetry written to {args.telemetry}", file=sys.stderr)

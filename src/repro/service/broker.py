@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -48,6 +49,19 @@ from repro.service.clock import SimClock
 from repro.service.ingest import AdmissionQueue, ArrivalSource, GeneratorSource
 from repro.service.pool import SolverPool
 from repro.service.telemetry import BatchRecord, TelemetryCollector
+from repro.state import (
+    WAL_FORMAT,
+    FaultPlan,
+    Journal,
+    SnapshotStore,
+    batch_to_record,
+    broker_snapshot_state,
+    config_fingerprint,
+    cycle_to_record,
+    recover,
+    snapshot_path,
+)
+from repro.state.journal import FSYNC_POLICIES
 from repro.workload.generator import WorkloadConfig
 from repro.workload.request import RequestSet
 from repro.workload.value_models import FlatRateValueModel, ValueModel
@@ -90,6 +104,14 @@ class BrokerConfig:
     (``None`` = unbounded).  ``fast_path`` selects the array-native batch
     model build (default; decision-identical to the expression build,
     kept as the reference).
+
+    Durability (see :mod:`repro.state`): setting ``wal_path`` makes the
+    broker journal every admission decision and cycle commit to a
+    write-ahead log (and publish an atomic snapshot every
+    ``snapshot_every`` cycles), so a crashed run resumes bit-identically
+    via ``Broker.run(resume=True)``.  ``fsync`` picks the durability/
+    throughput trade-off: ``"never"``, ``"batch"`` (one fsync per cycle
+    commit, the default) or ``"always"`` (one per record).
     """
 
     topology: str | Topology = "b4"
@@ -109,6 +131,9 @@ class BrokerConfig:
     queue_capacity: int | None = None
     max_batch: int | None = None
     fast_path: bool = True
+    wal_path: str | Path | None = None
+    snapshot_every: int = 1
+    fsync: str = "batch"
 
     def __post_init__(self) -> None:
         if self.num_cycles < 1:
@@ -127,6 +152,14 @@ class BrokerConfig:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
 
     def clock(self) -> SimClock:
         return SimClock(
@@ -143,6 +176,9 @@ class CycleResult:
     solutions.  ``assignment`` maps every request id to its chosen path (or
     ``None``), so callers can rebuild the :class:`Schedule` locally — the
     worker pool ships this compact result instead of whole schedules.
+    ``purchased`` is the cycle's final bandwidth purchase: charged integer
+    units per (nonzero) edge index — the ledger the durability layer
+    journals and the crash-equivalence tests compare exactly.
     """
 
     cycle: int
@@ -156,6 +192,7 @@ class CycleResult:
     wall_seconds: float
     batches: list[BatchRecord]
     assignment: dict[int, int | None]
+    purchased: dict[int, float] = field(default_factory=dict)
 
 
 def run_cycle(
@@ -171,6 +208,7 @@ def run_cycle(
     max_batch: int | None = None,
     check_cancelled=None,
     fast_path: bool = True,
+    on_batch=None,
 ) -> CycleResult:
     """Serve one billing cycle end to end; the broker's core loop.
 
@@ -183,6 +221,11 @@ def run_cycle(
     the incumbent (recorded ``suboptimal``); a limit-hit solve with no
     incumbent declines the whole batch (recorded ``timed_out``).  Only
     proven-optimal decisions enter the cache.
+
+    ``on_batch`` (when given) is invoked with each :class:`BatchRecord`
+    the moment its decision is committed — the write-ahead hook the
+    durability layer uses to journal decisions as they are made rather
+    than at cycle end.
     """
     t0 = time.perf_counter()
     instance = SPMInstance.build(topology, requests, k_paths=k_paths)
@@ -254,39 +297,41 @@ def run_cycle(
                 for rid, path in zip(batch_ids, decision)
                 if path is not None
             )
-            batches.append(
-                BatchRecord(
-                    cycle=cycle_index,
-                    window_start=tick.window_start,
-                    size=len(batch_ids),
-                    accepted=accepted,
-                    declined=len(batch_ids) - accepted,
-                    shed=0 if drained_any else window_shed,
-                    revenue=revenue,
-                    incremental_cost=cost_after - cost_before,
-                    solver_seconds=solver_seconds,
-                    cache_hit=hit,
-                    timed_out=timed_out,
-                    suboptimal=suboptimal,
-                )
+            record = BatchRecord(
+                cycle=cycle_index,
+                window_start=tick.window_start,
+                size=len(batch_ids),
+                accepted=accepted,
+                declined=len(batch_ids) - accepted,
+                shed=0 if drained_any else window_shed,
+                revenue=revenue,
+                incremental_cost=cost_after - cost_before,
+                solver_seconds=solver_seconds,
+                cache_hit=hit,
+                timed_out=timed_out,
+                suboptimal=suboptimal,
             )
+            batches.append(record)
+            if on_batch is not None:
+                on_batch(record)
             drained_any = True
         if window_shed and not drained_any:
             # Every arrival of the window was shed: record it anyway.
-            batches.append(
-                BatchRecord(
-                    cycle=cycle_index,
-                    window_start=tick.window_start,
-                    size=0,
-                    accepted=0,
-                    declined=0,
-                    shed=window_shed,
-                    revenue=0.0,
-                    incremental_cost=0.0,
-                    solver_seconds=0.0,
-                    cache_hit=False,
-                )
+            record = BatchRecord(
+                cycle=cycle_index,
+                window_start=tick.window_start,
+                size=0,
+                accepted=0,
+                declined=0,
+                shed=window_shed,
+                revenue=0.0,
+                incremental_cost=0.0,
+                solver_seconds=0.0,
+                cache_hit=False,
             )
+            batches.append(record)
+            if on_batch is not None:
+                on_batch(record)
 
     schedule = Schedule(instance, assignment)
     shed_total = queue.shed
@@ -302,6 +347,11 @@ def run_cycle(
         wall_seconds=time.perf_counter() - t0,
         batches=batches,
         assignment=dict(assignment),
+        purchased={
+            int(edge): float(units)
+            for edge, units in enumerate(charged)
+            if units
+        },
     )
 
 
@@ -310,6 +360,9 @@ def _cycle_worker(payload: tuple) -> CycleResult:
 
     Uses the worker's per-process decision cache and the pool's
     cooperative-cancellation flag (both installed by the pool initializer).
+    A :class:`~repro.state.FaultPlan` riding on the payload is consulted
+    at the cancellation poll, so an injected worker death lands mid-cycle
+    between solves — the crash point the pool's restart path must survive.
     """
     (
         topology,
@@ -321,7 +374,13 @@ def _cycle_worker(payload: tuple) -> CycleResult:
         queue_capacity,
         max_batch,
         fast_path,
+        faults,
     ) = payload
+    check_cancelled = pool_mod.check_cancelled
+    if faults is not None:
+        def check_cancelled():
+            faults.maybe_kill_worker(cycle_index)
+            return pool_mod.check_cancelled()
     return run_cycle(
         topology,
         requests,
@@ -332,9 +391,60 @@ def _cycle_worker(payload: tuple) -> CycleResult:
         cache=pool_mod.worker_cache(),
         queue_capacity=queue_capacity,
         max_batch=max_batch,
-        check_cancelled=pool_mod.check_cancelled,
+        check_cancelled=check_cancelled,
         fast_path=fast_path,
     )
+
+
+class _StateWriter:
+    """The broker's write-through durability seam (one per run).
+
+    Serial runs journal each decision live (``on_batch`` is handed to
+    :func:`run_cycle`); pooled runs journal a cycle's records when its
+    result is received in cycle order, since workers cannot share the
+    journal handle.  Either way the cycle commit record plus its
+    durability barrier is what acknowledges a cycle — batch records
+    without a commit are re-run on recovery, never trusted.
+    """
+
+    def __init__(
+        self,
+        journal: Journal,
+        snapshots: SnapshotStore,
+        fingerprint: str,
+        config: "BrokerConfig",
+        faults: FaultPlan | None,
+        completed: list[CycleResult],
+    ) -> None:
+        self.journal = journal
+        self.snapshots = snapshots
+        self.fingerprint = fingerprint
+        self.config = config
+        self.faults = faults
+        self.completed = completed
+        self.snapshot_seconds = 0.0
+        self._live_batches = 0
+
+    def on_batch(self, record: BatchRecord) -> None:
+        self.journal.append(batch_to_record(record))
+        self._live_batches += 1
+        if self.faults is not None:
+            self.faults.after_batch_append()
+
+    def commit_cycle(self, result: CycleResult) -> None:
+        for record in result.batches[self._live_batches:]:
+            self.on_batch(record)
+        self._live_batches = 0
+        self.journal.append(cycle_to_record(result))
+        self.journal.commit()
+        self.completed.append(result)
+        if self.faults is not None:
+            self.faults.after_cycle_commit()
+        if (result.cycle + 1) % self.config.snapshot_every == 0:
+            state = broker_snapshot_state(
+                self.fingerprint, self.config, self.completed
+            )
+            self.snapshot_seconds += self.snapshots.publish(state)
 
 
 @dataclass
@@ -390,9 +500,13 @@ class Broker:
     """
 
     def __init__(
-        self, config: BrokerConfig | None = None, source: ArrivalSource | None = None
+        self,
+        config: BrokerConfig | None = None,
+        source: ArrivalSource | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.config = config if config is not None else BrokerConfig()
+        self.faults = faults
         self.topology = _make_topology(self.config.topology)
         if source is None:
             source = GeneratorSource(
@@ -407,14 +521,73 @@ class Broker:
             )
         self.source = source
 
-    def run(self) -> BrokerReport:
-        """Serve every configured cycle and return the full report."""
+    def run(self, *, resume: bool = False) -> BrokerReport:
+        """Serve every configured cycle and return the full report.
+
+        With ``config.wal_path`` set, every decision is journaled and
+        committed cycles are snapshotted as the run progresses; with
+        ``resume=True`` the broker first recovers the committed-cycle
+        prefix from the journal/snapshot and re-serves only what never
+        committed — the resulting report is bit-identical to an
+        uninterrupted run (the crash-equivalence invariant of
+        :mod:`repro.state`).
+        """
         config = self.config
+        if resume and config.wal_path is None:
+            raise ValueError("resume=True requires BrokerConfig.wal_path")
         t0 = time.perf_counter()
-        if config.workers >= 2 and config.num_cycles > 1:
-            results = self._run_pooled()
-        else:
-            results = self._run_serial()
+        self._worker_restarts = 0
+
+        recovered: list[CycleResult] = []
+        recovered_batches = 0
+        journal = None
+        writer = None
+        wal_bytes = 0
+        if config.wal_path is not None:
+            wal_path = Path(config.wal_path)
+            fingerprint = config_fingerprint(config)
+            if resume:
+                state = recover(wal_path, fingerprint=fingerprint)
+                recovered = state.cycles
+                recovered_batches = state.recovered_batches
+            journal = Journal.open(
+                wal_path,
+                fsync=config.fsync,
+                fsync_hook=(
+                    self.faults.fsync_hook() if self.faults is not None else None
+                ),
+            )
+            journal.append(
+                {
+                    "type": "open",
+                    "format": WAL_FORMAT,
+                    "fingerprint": fingerprint,
+                    "next_cycle": len(recovered),
+                }
+            )
+            journal.commit()
+            writer = _StateWriter(
+                journal,
+                SnapshotStore(snapshot_path(wal_path)),
+                fingerprint,
+                config,
+                self.faults,
+                completed=list(recovered),
+            )
+
+        try:
+            start = len(recovered)
+            if start >= config.num_cycles:
+                fresh: list[CycleResult] = []
+            elif config.workers >= 2 and config.num_cycles - start > 1:
+                fresh = self._run_pooled(start, writer)
+            else:
+                fresh = self._run_serial(start, writer)
+        finally:
+            if journal is not None:
+                wal_bytes = journal.size_bytes
+                journal.close()
+        results = recovered + fresh
         elapsed = time.perf_counter() - t0
 
         telemetry = TelemetryCollector()
@@ -423,13 +596,22 @@ class Broker:
                 telemetry.record_batch(record)
             telemetry.record_cycle(result.cycle, result.profit)
         telemetry.wall_seconds = elapsed
+        telemetry.recovered_batches = recovered_batches
+        telemetry.wal_bytes = wal_bytes
+        telemetry.snapshot_seconds = (
+            writer.snapshot_seconds if writer is not None else 0.0
+        )
+        telemetry.worker_restarts = self._worker_restarts
         return BrokerReport(config=config, cycles=results, telemetry=telemetry)
 
-    def _run_serial(self) -> list[CycleResult]:
+    def _run_serial(
+        self, start: int, writer: _StateWriter | None
+    ) -> list[CycleResult]:
         config = self.config
         cache = DecisionCache(config.cache_size) if config.cache_size > 0 else None
-        return [
-            run_cycle(
+        results = []
+        for index in range(start, config.num_cycles):
+            result = run_cycle(
                 self.topology,
                 self.source.cycle(index),
                 cycle_index=index,
@@ -440,11 +622,16 @@ class Broker:
                 queue_capacity=config.queue_capacity,
                 max_batch=config.max_batch,
                 fast_path=config.fast_path,
+                on_batch=writer.on_batch if writer is not None else None,
             )
-            for index in range(config.num_cycles)
-        ]
+            if writer is not None:
+                writer.commit_cycle(result)
+            results.append(result)
+        return results
 
-    def _run_pooled(self) -> list[CycleResult]:
+    def _run_pooled(
+        self, start: int, writer: _StateWriter | None
+    ) -> list[CycleResult]:
         config = self.config
         payloads = [
             (
@@ -457,15 +644,24 @@ class Broker:
                 config.queue_capacity,
                 config.max_batch,
                 config.fast_path,
+                self.faults,
             )
-            for index in range(config.num_cycles)
+            for index in range(start, config.num_cycles)
         ]
+        results = []
         with SolverPool(config.workers, cache_size=config.cache_size) as solver_pool:
-            return solver_pool.map(_cycle_worker, payloads)
+            for result in solver_pool.imap(_cycle_worker, payloads):
+                if writer is not None:
+                    writer.commit_cycle(result)
+                results.append(result)
+            self._worker_restarts = solver_pool.worker_restarts
+        return results
 
     def with_config(self, **changes) -> "Broker":
         """A new broker over the same source with config fields replaced."""
-        return Broker(replace(self.config, **changes), source=self.source)
+        return Broker(
+            replace(self.config, **changes), source=self.source, faults=self.faults
+        )
 
     def __repr__(self) -> str:
         return (

@@ -104,11 +104,17 @@ class TraceSource(ArrivalSource):
             )
         self.trace = trace
         self.repeat = repeat
+        self._idle: RequestSet | None = None
 
     def cycle(self, cycle_index: int) -> RequestSet:
         if cycle_index == 0 or self.repeat:
             return self.trace
-        return RequestSet([], self.trace.num_slots)
+        # Idle cycles share one empty set: the source may be asked for
+        # thousands of them, and callers rely on repeated calls returning
+        # equal (here: identical) sets.
+        if self._idle is None:
+            self._idle = RequestSet([], self.trace.num_slots)
+        return self._idle
 
 
 class AdmissionQueue:

@@ -18,15 +18,25 @@ Two serving-specific behaviors are layered on top of the bare executor:
   is polled by workers between solves (via :func:`check_cancelled`, wired
   down to :func:`repro.lp.solvers.solve_compiled`); when any task fails,
   the pool sets the event and cancels queued futures so a broken run
-  drains quickly instead of grinding through doomed MILPs.
+  drains quickly instead of grinding through doomed MILPs;
+* **worker-death recovery** — an abruptly dead worker (OOM kill, segfault,
+  the fault harness's ``os._exit``) breaks a bare
+  ``ProcessPoolExecutor`` permanently.  The pool instead rebuilds the
+  executor and resubmits every task that had no result yet, up to
+  ``max_restarts`` times; tasks must therefore be idempotent, which
+  broker cycles are (deterministic, starting from empty state).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from collections.abc import Iterator
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable
+
+from repro.exceptions import SolverError
 
 from repro.service.cache import DecisionCache
 
@@ -62,40 +72,96 @@ class SolverPool:
     """A process pool for independent solve tasks, with ordered results.
 
     ``workers`` fixes the process count; ``cache_size`` sizes each worker's
-    private decision cache (0 disables caching).  Use as a context manager
-    or call :meth:`shutdown` explicitly.
+    private decision cache (0 disables caching); ``max_restarts`` bounds
+    how many times a dead worker may break (and rebuild) the executor
+    before the run is abandoned.  Use as a context manager or call
+    :meth:`shutdown` explicitly.
     """
 
-    def __init__(self, workers: int, *, cache_size: int = 1024) -> None:
+    def __init__(
+        self, workers: int, *, cache_size: int = 1024, max_restarts: int = 3
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
         self.workers = workers
         self.cache_size = cache_size
+        self.max_restarts = max_restarts
+        self.worker_restarts = 0
         self._cancel_event = multiprocessing.Event()
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
+        self._executor = self._make_executor()
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
             initializer=_initialize_worker,
-            initargs=(self._cancel_event, cache_size),
+            initargs=(self._cancel_event, self.cache_size),
         )
+
+    def _restart_executor(self) -> None:
+        self.worker_restarts += 1
+        if self.worker_restarts > self.max_restarts:
+            raise SolverError(
+                f"worker pool broke {self.worker_restarts} times "
+                f"(max_restarts={self.max_restarts}); giving up"
+            )
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = self._make_executor()
 
     def map(self, fn: Callable[[Any], Any], payloads: list[Any]) -> list[Any]:
         """Run ``fn(payload)`` for every payload; results in payload order.
 
         On the first task failure the pool cancels everything still queued,
         signals running workers to stop cooperatively, and re-raises the
-        task's exception.
+        task's exception.  A *dead worker* (not a task exception) is
+        handled by restarting the executor — see :meth:`imap`.
         """
-        futures = [self._executor.submit(fn, payload) for payload in payloads]
-        results = []
-        try:
-            for future in futures:
-                results.append(future.result())
-        except BaseException:
-            self.cancel()
-            raise
-        return results
+        return list(self.imap(fn, payloads))
+
+    def imap(
+        self, fn: Callable[[Any], Any], payloads: list[Any]
+    ) -> Iterator[Any]:
+        """Yield results in payload order, as soon as each is available.
+
+        Results stream in submission order so a consumer can act on early
+        payloads (the broker journals cycle commits) while later ones are
+        still solving.  When a worker process dies, every task without a
+        result is resubmitted to a fresh executor; tasks that already
+        completed are never re-executed, and already-yielded results are
+        unaffected.
+        """
+        pending = list(enumerate(payloads))
+        done: dict[int, Any] = {}
+        next_index = 0
+        while pending:
+            futures = [
+                (index, payload, self._executor.submit(fn, payload))
+                for index, payload in pending
+            ]
+            retry = []
+            broken = False
+            for index, payload, future in futures:
+                try:
+                    done[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    retry.append((index, payload))
+                except BaseException:
+                    self.cancel()
+                    raise
+                else:
+                    while next_index in done:
+                        yield done.pop(next_index)
+                        next_index += 1
+            if broken:
+                self._restart_executor()
+            pending = retry
+        while next_index in done:
+            yield done.pop(next_index)
+            next_index += 1
 
     def cancel(self) -> None:
         """Signal cooperative cancellation and drop queued (unstarted) tasks."""

@@ -12,6 +12,8 @@ diffed across commits.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
@@ -53,6 +55,14 @@ class TelemetryCollector:
     batches: list[BatchRecord] = field(default_factory=list)
     _cycle_profit: dict[int, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: Durability counters, set by the broker when a WAL is configured:
+    #: batches replayed from snapshot+journal instead of re-solved, the
+    #: journal's size after the run, time spent publishing snapshots, and
+    #: how often the solver pool replaced a dead worker.
+    recovered_batches: int = 0
+    wal_bytes: int = 0
+    snapshot_seconds: float = 0.0
+    worker_restarts: int = 0
 
     def record_batch(self, record: BatchRecord) -> None:
         self.batches.append(record)
@@ -120,17 +130,39 @@ class TelemetryCollector:
             "latency_p50_ms": self.latency_percentile(50) * 1e3,
             "latency_p95_ms": self.latency_percentile(95) * 1e3,
             "latency_max_ms": self.latency_percentile(100) * 1e3,
+            "recovered_batches": self.recovered_batches,
+            "wal_bytes": self.wal_bytes,
+            "snapshot_seconds": self.snapshot_seconds,
+            "worker_restarts": self.worker_restarts,
         }
 
     def dump_json(self, path: str | Path) -> None:
-        """Write the summary plus every batch record to ``path``."""
+        """Write the summary plus every batch record to ``path``.
+
+        Crash-safe: the payload is written to a temporary file in the
+        target directory and ``os.replace``d into place, so an
+        interrupted dump leaves either the previous file or the new one —
+        never truncated JSON.
+        """
+        path = Path(path)
         payload = {
             "summary": self.summary(),
             "batches": [asdict(record) for record in self.batches],
         }
-        Path(path).write_text(
-            json.dumps(payload, indent=2), encoding="utf-8"
+        parent = path.parent if str(path.parent) else Path(".")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=parent, prefix=path.name + ".", suffix=".tmp"
         )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def __repr__(self) -> str:
         s = self.summary()

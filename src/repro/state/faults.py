@@ -1,0 +1,167 @@
+"""Fault injection for the durability layer.
+
+The crash matrix in ``tests/test_state_recovery.py`` needs to kill the
+broker at precise points — after the N-th journaled decision, after a
+cycle commit, inside a solver-pool worker mid-solve — and to damage the
+journal the way real crashes do (torn tails, corrupt sectors, failing
+fsyncs).  :class:`FaultPlan` packages those trigger points; the broker
+and worker pool consult it at the exact seams a real fault would hit, so
+the tests exercise the same code paths production crashes would.
+
+Process "kills" are simulated two ways, matching what each fault models:
+
+* in the serving process, :class:`SimulatedCrash` is raised *after* the
+  triggering journal append has been flushed to the OS — exactly what a
+  ``SIGKILL`` leaves behind (page cache intact, nothing past the flush);
+* in a pool worker, :meth:`FaultPlan.maybe_kill_worker` calls
+  ``os._exit`` — a genuine abrupt process death that the pool must
+  survive by restarting its executor.
+
+The worker kill fires **once**, latched through an ``O_EXCL`` file
+(``once_path``), so the restarted worker that retries the same cycle
+does not die again — without the latch a kill would loop until the
+pool's restart budget ran out.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "SimulatedCrash",
+    "FaultPlan",
+    "truncate_tail",
+    "corrupt_tail",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected process death; never raised outside the fault harness."""
+
+
+@dataclass
+class FaultPlan:
+    """Where (and how) to hurt the broker.
+
+    All triggers are optional and independent; counters live on the plan,
+    so one plan instance describes one crash.  The plan is pickled into
+    pool workers — only ``kill_worker_cycle``/``once_path`` matter there.
+    """
+
+    #: Raise :class:`SimulatedCrash` after journaling this many ``batch``
+    #: records (1-based, counted across the whole run).
+    crash_after_batches: int | None = None
+    #: Raise :class:`SimulatedCrash` after this many durable cycle commits.
+    crash_after_cycles: int | None = None
+    #: ``os._exit`` the pool worker that starts serving this cycle index.
+    kill_worker_cycle: int | None = None
+    #: Latch file making the worker kill fire exactly once (required with
+    #: ``kill_worker_cycle``).
+    once_path: str | None = None
+    #: Make the N-th fsync raise ``OSError`` (1-based).
+    fail_fsync_at: int | None = None
+
+    _batches_seen: int = 0
+    _cycles_seen: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_after_batches", "crash_after_cycles",
+                     "kill_worker_cycle", "fail_fsync_at"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.kill_worker_cycle is not None and self.once_path is None:
+            raise ValueError("kill_worker_cycle requires once_path (the latch)")
+
+    # ------------------------------------------------------- broker hooks
+
+    def after_batch_append(self) -> None:
+        """Called by the broker right after a ``batch`` record is flushed."""
+        if self.crash_after_batches is None:
+            return
+        self._batches_seen += 1
+        if self._batches_seen >= self.crash_after_batches:
+            raise SimulatedCrash(
+                f"injected crash after batch record #{self._batches_seen}"
+            )
+
+    def after_cycle_commit(self) -> None:
+        """Called by the broker right after a cycle commit is synced."""
+        if self.crash_after_cycles is None:
+            return
+        self._cycles_seen += 1
+        if self._cycles_seen >= self.crash_after_cycles:
+            raise SimulatedCrash(
+                f"injected crash after cycle commit #{self._cycles_seen}"
+            )
+
+    # -------------------------------------------------------- worker hook
+
+    def maybe_kill_worker(self, cycle_index: int) -> None:
+        """Die (once) if this worker is serving the targeted cycle.
+
+        Wired into the worker's cancellation poll, so the exit happens
+        mid-cycle, between solves — not at a tidy boundary.
+        """
+        if self.kill_worker_cycle != cycle_index:
+            return
+        try:
+            fd = os.open(self.once_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # already fired; the retry must survive
+        os.close(fd)
+        os._exit(1)
+
+    # --------------------------------------------------------- fsync hook
+
+    def fsync_hook(self) -> Callable[[int], None] | None:
+        """An ``os.fsync`` replacement failing at ``fail_fsync_at`` calls."""
+        if self.fail_fsync_at is None:
+            return None
+        target = self.fail_fsync_at
+        calls = 0
+
+        def hook(fd: int) -> None:
+            nonlocal calls
+            calls += 1
+            if calls >= target:
+                raise OSError(f"injected fsync failure (call #{calls})")
+            os.fsync(fd)
+
+        return hook
+
+
+# ----------------------------------------------------------- WAL damage
+
+
+def truncate_tail(path: str | Path, nbytes: int = 7) -> int:
+    """Chop ``nbytes`` off the journal — a torn final write.
+
+    Returns the new size.  Truncating less than a full frame leaves a
+    half-record the scanner must detect and drop.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = max(0, size - nbytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def corrupt_tail(path: str | Path, nbytes: int = 4) -> None:
+    """Flip the last ``nbytes`` bytes — a corrupt sector under the tail.
+
+    Unlike :func:`truncate_tail` the file keeps its length; only the
+    checksum can tell the tail is garbage.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    start = max(0, len(data) - nbytes)
+    for index in range(start, len(data)):
+        data[index] ^= 0xFF
+    path.write_bytes(bytes(data))

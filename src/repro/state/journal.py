@@ -1,0 +1,201 @@
+"""The broker's write-ahead log: length-prefixed, checksummed records.
+
+Every record is framed as an 8-byte little-endian header — payload length
+then CRC32 of the payload — followed by the UTF-8 JSON payload.  Appends
+always reach the OS (the handle is flushed per record, so a *process*
+crash loses nothing already appended); how far each record is pushed
+toward the platters is the ``fsync`` policy:
+
+* ``"always"`` — fsync after every record (durable against power loss,
+  the slowest policy);
+* ``"batch"`` — fsync only at :meth:`Journal.commit` boundaries (the
+  broker calls it once per billing-cycle commit);
+* ``"never"`` — flush but never fsync (durable against process death
+  only — the benchmark baseline for the durability tax).
+
+A crash can still tear the *tail* of the file: a half-written header, a
+payload shorter than its declared length, or a checksum mismatch from a
+torn sector.  :func:`scan_wal` reads the longest valid prefix and reports
+where it ends; :meth:`Journal.open` truncates the file back to that point
+before appending, so a journal is self-healing across crashes — earlier
+records are never touched (the log is append-only) and a corrupt tail
+costs at most the records that were never acknowledged as committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.exceptions import JournalError
+
+__all__ = ["Journal", "scan_wal", "read_wal", "FSYNC_POLICIES"]
+
+#: Valid values of the ``fsync`` policy (see module docstring).
+FSYNC_POLICIES = ("never", "batch", "always")
+
+#: ``<payload length, payload crc32>`` — both unsigned 32-bit little-endian.
+_HEADER = struct.Struct("<II")
+
+
+def _encode(record: dict[str, Any]) -> bytes:
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_wal(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
+    """Read the longest valid record prefix of a journal file.
+
+    Returns ``(records, good_offset, truncated)``: the decoded records,
+    the byte offset where the valid prefix ends, and whether anything
+    after it (a torn or corrupt tail) was dropped.  A missing file is an
+    empty journal, not an error.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0, False
+    data = path.read_bytes()
+    records: list[dict[str, Any]] = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        stop = start + length
+        if stop > len(data):
+            break  # torn payload
+        payload = data[start:stop]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt record — everything after it is untrusted
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = stop
+    return records, offset, offset < len(data)
+
+
+def read_wal(path: str | Path) -> list[dict[str, Any]]:
+    """The valid records of a journal (torn/corrupt tail silently dropped)."""
+    records, _, _ = scan_wal(path)
+    return records
+
+
+class Journal:
+    """An append-only record log with a configurable fsync policy.
+
+    ``fsync_hook`` exists for the fault-injection harness
+    (:mod:`repro.state.faults`): it replaces :func:`os.fsync` so tests can
+    make durability syncs fail on demand.  A failed sync raises
+    :class:`~repro.exceptions.JournalError` — the caller must not
+    acknowledge the records it was trying to make durable.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: str = "batch",
+        fsync_hook: Callable[[int], None] | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fsync_hook = fsync_hook if fsync_hook is not None else os.fsync
+        self._handle = None
+        self.records_appended = 0
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        fsync: str = "batch",
+        fsync_hook: Callable[[int], None] | None = None,
+    ) -> "Journal":
+        """Open ``path`` for appending, healing any torn/corrupt tail first."""
+        journal = cls(path, fsync=fsync, fsync_hook=fsync_hook)
+        _, good_offset, truncated = scan_wal(journal.path)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(journal.path, "ab")
+        if truncated:
+            handle.truncate(good_offset)
+            handle.seek(good_offset)
+        journal._handle = handle
+        return journal
+
+    def _require_open(self):
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is not open")
+        return self._handle
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Append one record; returns the bytes written.
+
+        The record always reaches the OS (flushed) before this returns;
+        with ``fsync="always"`` it is also synced to stable storage.
+        """
+        handle = self._require_open()
+        frame = _encode(record)
+        handle.write(frame)
+        handle.flush()
+        self.records_appended += 1
+        if self.fsync == "always":
+            self._sync(handle)
+        return len(frame)
+
+    def commit(self) -> None:
+        """A durability barrier: sync under the ``"batch"`` policy.
+
+        The broker calls this once per billing-cycle commit record, so
+        ``"batch"`` amortizes one fsync over a whole cycle of decisions.
+        """
+        handle = self._require_open()
+        handle.flush()
+        if self.fsync == "batch":
+            self._sync(handle)
+
+    def _sync(self, handle) -> None:
+        try:
+            self._fsync_hook(handle.fileno())
+        except OSError as exc:
+            raise JournalError(
+                f"fsync of journal {self.path} failed: {exc}"
+            ) from exc
+
+    @property
+    def size_bytes(self) -> int:
+        """The journal file's current size (flushed writes included)."""
+        if self._handle is not None:
+            self._handle.flush()
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "open" if self._handle is not None else "closed"
+        return (
+            f"Journal({str(self.path)!r}, fsync={self.fsync!r}, {state}, "
+            f"appended={self.records_appended})"
+        )

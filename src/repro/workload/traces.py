@@ -144,10 +144,29 @@ def iter_trace_jsonl(path: str | Path) -> Iterator[Request]:
     """
     with Path(path).open("r", encoding="utf-8") as handle:
         _read_jsonl_header(handle, path)
-        for line in handle:
+        for lineno, line in enumerate(handle, start=2):
             line = line.strip()
-            if line:
-                yield _request_from_dict(json.loads(line))
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(
+                    f"{path}: line {lineno}: malformed trace line ({exc})"
+                ) from None
+            if not isinstance(data, dict):
+                raise WorkloadError(
+                    f"{path}: line {lineno}: trace line must be a JSON "
+                    f"object, got {type(data).__name__}"
+                )
+            try:
+                yield _request_from_dict(data)
+            except WorkloadError as exc:
+                raise WorkloadError(f"{path}: line {lineno}: {exc}") from None
+            except (KeyError, TypeError, ValueError) as exc:
+                raise WorkloadError(
+                    f"{path}: line {lineno}: invalid trace record ({exc!r})"
+                ) from None
 
 
 def trace_jsonl_header(path: str | Path) -> dict[str, Any]:

@@ -99,6 +99,11 @@ class PriceAwareValueModel(ValueModel):
         factor = 1.0 if self.noise == 0 else float(rng.uniform(1 - self.noise, 1 + self.noise))
         return base * factor
 
+    def __repr__(self) -> str:
+        # Parameter-complete and stable across processes: the broker's
+        # durability layer folds this repr into its config fingerprint.
+        return f"PriceAwareValueModel(markup={self.markup!r}, noise={self.noise!r})"
+
 
 class FlatRateValueModel(ValueModel):
     """Bid = ``unit_price`` x rate x duration, blind to geography."""
@@ -117,6 +122,9 @@ class FlatRateValueModel(ValueModel):
         rng: np.random.Generator,
     ) -> float:
         return self.unit_price * rate * duration
+
+    def __repr__(self) -> str:
+        return f"FlatRateValueModel(unit_price={self.unit_price!r})"
 
 
 class HeavyTailValueModel(ValueModel):
@@ -153,3 +161,6 @@ class HeavyTailValueModel(ValueModel):
         base = self._price_model.value(topology, source, dest, rate, duration, rng)
         multiplier = self.scale * (1.0 + float(rng.pareto(self.shape)))
         return base * multiplier
+
+    def __repr__(self) -> str:
+        return f"HeavyTailValueModel(shape={self.shape!r}, scale={self.scale!r})"

@@ -156,6 +156,16 @@ class TestSources:
         assert len(later) == 0
         assert later.num_slots == diamond_requests.num_slots
 
+    def test_trace_source_idle_cycles_share_one_empty_set(self, diamond_requests):
+        # Regression: repeat=False used to allocate a fresh RequestSet per
+        # idle cycle; repeated idle cycles must return equal (and cached)
+        # sets so long idle tails cost nothing.
+        source = TraceSource(diamond_requests, repeat=False)
+        first, second = source.cycle(1), source.cycle(2)
+        assert first is second
+        assert list(first) == list(second) == []
+        assert first.num_slots == diamond_requests.num_slots
+
     def test_trace_source_from_jsonl(self, diamond_requests, tmp_path):
         from repro.workload.traces import save_trace_jsonl
 
@@ -213,6 +223,37 @@ class TestTelemetry:
         assert payload["summary"]["batches"] == 1
         assert payload["batches"][0]["size"] == 2
 
+    def test_dump_json_is_atomic(self, tmp_path, monkeypatch):
+        import json
+        import os
+
+        collector = TelemetryCollector()
+        collector.record_batch(_record())
+        out = tmp_path / "telemetry.json"
+        collector.dump_json(out)
+        before = out.read_text()
+
+        # An interrupted dump must leave the previous file intact and no
+        # temp litter: fail the final rename and check nothing changed.
+        def exploding_replace(src, dst):
+            raise KeyboardInterrupt("interrupted mid-dump")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        collector.record_batch(_record())
+        with pytest.raises(KeyboardInterrupt):
+            collector.dump_json(out)
+        monkeypatch.undo()
+        assert out.read_text() == before
+        assert json.loads(before)["summary"]["batches"] == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["telemetry.json"]
+
+    def test_summary_has_durability_counters(self):
+        summary = TelemetryCollector().summary()
+        assert summary["recovered_batches"] == 0
+        assert summary["wal_bytes"] == 0
+        assert summary["snapshot_seconds"] == 0.0
+        assert summary["worker_restarts"] == 0
+
 
 def _square(x):
     return x * x
@@ -220,6 +261,28 @@ def _square(x):
 
 def _boom(x):
     raise RuntimeError(f"task {x} failed")
+
+
+def _die_once(args):
+    """Abruptly kill the worker on payload 2, exactly once (latched)."""
+    import os
+
+    x, latch = args
+    if x == 2:
+        try:
+            fd = os.open(latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os._exit(1)
+    return x * 10
+
+
+def _always_die(x):
+    import os
+
+    os._exit(1)
 
 
 class TestSolverPool:
@@ -232,6 +295,24 @@ class TestSolverPool:
             with SolverPool(2, cache_size=0) as pool:
                 pool.map(_boom, [1, 2, 3])
 
+    def test_dead_worker_restarts_instead_of_poisoning(self, tmp_path):
+        latch = str(tmp_path / "die.latch")
+        with SolverPool(2, cache_size=0) as pool:
+            results = pool.map(_die_once, [(x, latch) for x in [1, 2, 3]])
+            assert results == [10, 20, 30]
+            assert pool.worker_restarts == 1
+
+    def test_restart_budget_exhausts(self):
+        from repro.exceptions import SolverError
+
+        # Every retry dies again; the pool must give up after
+        # max_restarts rather than loop forever.
+        with pytest.raises(SolverError, match="max_restarts"):
+            with SolverPool(2, cache_size=0, max_restarts=1) as pool:
+                pool.map(_always_die, [1])
+
     def test_validation(self):
         with pytest.raises(ValueError):
             SolverPool(0)
+        with pytest.raises(ValueError):
+            SolverPool(1, max_restarts=-1)

@@ -1,0 +1,285 @@
+"""The crash matrix: durable journaling, recovery, and fault injection.
+
+Every test here enforces the crash-equivalence invariant of
+:mod:`repro.state`: whatever point the fault hits — after batch N, after a
+cycle commit, a dead pool worker, a torn or corrupt WAL tail, a failing
+fsync — a resumed run produces a :class:`~repro.service.broker.BrokerReport`
+whose profit, decision log and purchased capacities are *identical* (not
+approximately equal) to an uninterrupted run with the same seed.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import JournalError, RecoveryError, SnapshotError
+from repro.service import Broker, BrokerConfig
+from repro.state import (
+    FaultPlan,
+    Journal,
+    SimulatedCrash,
+    SnapshotStore,
+    config_fingerprint,
+    corrupt_tail,
+    read_wal,
+    recover,
+    scan_wal,
+    snapshot_path,
+    truncate_tail,
+)
+
+_BASE = dict(
+    topology="sub-b4",
+    num_cycles=3,
+    slots_per_cycle=6,
+    requests_per_cycle=8,
+    seed=11,
+    time_limit=60.0,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The uninterrupted run every crashed-and-recovered run must equal."""
+    return Broker(BrokerConfig(**_BASE)).run()
+
+
+def _config(tmp_path, **overrides):
+    return BrokerConfig(**{**_BASE, "wal_path": tmp_path / "broker.wal", **overrides})
+
+
+def assert_equivalent(report, baseline):
+    """Bit-identical crash equivalence: profit, decisions, purchases."""
+    assert report.decision_log() == baseline.decision_log()
+    assert report.profit == baseline.profit
+    assert report.revenue == baseline.revenue
+    assert report.cost == baseline.cost
+    assert len(report.cycles) == len(baseline.cycles)
+    for recovered, reference in zip(report.cycles, baseline.cycles):
+        assert recovered.purchased == reference.purchased
+        assert recovered.assignment == reference.assignment
+        assert recovered.profit == reference.profit
+
+
+class TestJournal:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal.open(path, fsync="always") as journal:
+            journal.append({"type": "a", "n": 1})
+            journal.append({"type": "b", "x": [1.5, None, "s"]})
+        assert read_wal(path) == [
+            {"type": "a", "n": 1},
+            {"type": "b", "x": [1.5, None, "s"]},
+        ]
+
+    def test_torn_tail_detected_and_dropped(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal.open(path) as journal:
+            for n in range(5):
+                journal.append({"n": n})
+        truncate_tail(path, 3)
+        records, offset, truncated = scan_wal(path)
+        assert [r["n"] for r in records] == [0, 1, 2, 3]
+        assert truncated
+        # Re-opening heals the file: the tail is truncated and appends resume.
+        with Journal.open(path) as journal:
+            journal.append({"n": 99})
+        records, healed_offset, truncated = scan_wal(path)
+        assert [r["n"] for r in records] == [0, 1, 2, 3, 99]
+        assert not truncated
+        assert healed_offset == path.stat().st_size > offset
+
+    def test_corrupt_tail_stops_scan(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal.open(path) as journal:
+            for n in range(4):
+                journal.append({"n": n})
+        corrupt_tail(path, 2)  # damages the last record's payload only
+        records, _, truncated = scan_wal(path)
+        assert [r["n"] for r in records] == [0, 1, 2]
+        assert truncated
+
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        assert read_wal(tmp_path / "nope.wal") == []
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            Journal(tmp_path / "j.wal", fsync="sometimes")
+
+
+class TestSnapshotStore:
+    def test_publish_load_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snap.json")
+        seconds = store.publish({"cycles": [1, 2], "pi": 3.5})
+        assert seconds >= 0.0
+        assert store.load() == {"cycles": [1, 2], "pi": 3.5}
+
+    def test_publish_is_atomic_replace(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snap.json")
+        store.publish({"v": 1})
+        store.publish({"v": 2})
+        assert store.load() == {"v": 2}
+        # No temp litter left behind in the directory.
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snap.json")
+        store.publish({"v": 1})
+        raw = json.loads(store.path.read_text())
+        raw["state"]["v"] = 2  # state no longer matches its checksum
+        store.path.write_text(json.dumps(raw))
+        with pytest.raises(SnapshotError, match="checksum"):
+            store.load()
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert SnapshotStore(tmp_path / "none.json").load() is None
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("crash_after", [1, 4, 8, 11])
+    def test_kill_after_batch_n(self, tmp_path, baseline, crash_after):
+        config = _config(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            Broker(config, faults=FaultPlan(crash_after_batches=crash_after)).run()
+        resumed = Broker(config).run(resume=True)
+        assert_equivalent(resumed, baseline)
+
+    @pytest.mark.parametrize("crash_after", [1, 2])
+    def test_kill_after_cycle_commit(self, tmp_path, baseline, crash_after):
+        config = _config(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            Broker(config, faults=FaultPlan(crash_after_cycles=crash_after)).run()
+        resumed = Broker(config).run(resume=True)
+        assert_equivalent(resumed, baseline)
+        # The committed cycles were recovered, not re-solved.
+        expected = sum(len(c.batches) for c in baseline.cycles[:crash_after])
+        assert resumed.summary()["recovered_batches"] == expected
+
+    @pytest.mark.parametrize("torn_bytes", [3, 9, 40])
+    def test_torn_wal_tail(self, tmp_path, baseline, torn_bytes):
+        config = _config(tmp_path)
+        Broker(config).run()
+        truncate_tail(config.wal_path, torn_bytes)
+        resumed = Broker(config).run(resume=True)
+        assert_equivalent(resumed, baseline)
+
+    def test_corrupt_wal_tail(self, tmp_path, baseline):
+        config = _config(tmp_path)
+        Broker(config).run()
+        corrupt_tail(config.wal_path, 16)
+        resumed = Broker(config).run(resume=True)
+        assert_equivalent(resumed, baseline)
+
+    def test_worker_death_mid_solve(self, tmp_path, baseline):
+        config = _config(tmp_path, workers=2)
+        plan = FaultPlan(
+            kill_worker_cycle=1, once_path=str(tmp_path / "kill.latch")
+        )
+        report = Broker(config, faults=plan).run()
+        assert_equivalent(report, baseline)
+        assert report.summary()["worker_restarts"] >= 1
+        assert (tmp_path / "kill.latch").exists()
+
+    def test_fsync_failure_is_loud_and_prefix_recovers(self, tmp_path, baseline):
+        config = _config(tmp_path, fsync="always")
+        with pytest.raises(JournalError, match="fsync"):
+            Broker(config, faults=FaultPlan(fail_fsync_at=4)).run()
+        resumed = Broker(_config(tmp_path)).run(resume=True)
+        assert_equivalent(resumed, baseline)
+
+    def test_corrupt_snapshot_falls_back_to_wal(self, tmp_path, baseline):
+        config = _config(tmp_path)
+        Broker(config).run()
+        snap = snapshot_path(config.wal_path)
+        snap.write_text("not json {")
+        resumed = Broker(config).run(resume=True)
+        assert_equivalent(resumed, baseline)
+
+    def test_resume_of_finished_run_replays_everything(self, tmp_path, baseline):
+        config = _config(tmp_path)
+        first = Broker(config).run()
+        resumed = Broker(config).run(resume=True)
+        assert_equivalent(resumed, baseline)
+        total = sum(len(c.batches) for c in first.cycles)
+        assert resumed.summary()["recovered_batches"] == total
+        # Nothing was re-served, so no new cycle commits were journaled.
+        commits = [r for r in read_wal(config.wal_path) if r["type"] == "cycle"]
+        assert len(commits) == len(baseline.cycles)
+
+    def test_orphan_batch_records_match_the_rerun(self, tmp_path, baseline):
+        # The WAL's per-decision trail for an uncommitted cycle must agree
+        # with what the deterministic re-run decides — the write-ahead log
+        # is a prefix of the truth, never a fork of it.
+        config = _config(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            Broker(config, faults=FaultPlan(crash_after_batches=8)).run()
+        records = read_wal(config.wal_path)
+        committed = {r["cycle"] for r in records if r["type"] == "cycle"}
+        orphans = [
+            r for r in records
+            if r["type"] == "batch" and r["cycle"] not in committed
+        ]
+        assert orphans, "crash point must leave an uncommitted cycle behind"
+        resumed = Broker(config).run(resume=True)
+        assert_equivalent(resumed, baseline)
+        rerun = resumed.cycles[orphans[0]["cycle"]]
+        for orphan, record in zip(orphans, rerun.batches):
+            assert orphan["accepted"] == record.accepted
+            assert orphan["revenue"] == record.revenue
+            assert orphan["incremental_cost"] == record.incremental_cost
+
+
+class TestRecoveryGuards:
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        config = _config(tmp_path)
+        Broker(config).run()
+        other = _config(tmp_path, seed=99)
+        with pytest.raises(RecoveryError, match="different configuration"):
+            Broker(other).run(resume=True)
+
+    def test_resume_without_wal_rejected(self):
+        with pytest.raises(ValueError, match="wal_path"):
+            Broker(BrokerConfig(**_BASE)).run(resume=True)
+
+    def test_resume_extends_horizon(self, tmp_path, baseline):
+        # num_cycles is not part of the fingerprint: a resumed run may
+        # serve more cycles than the run it continues.
+        config = _config(tmp_path)
+        Broker(config).run()
+        longer = _config(tmp_path, num_cycles=4)
+        extended = Broker(longer).run(resume=True)
+        assert extended.decision_log()[: len(baseline.decision_log())] == (
+            baseline.decision_log()
+        )
+        assert len(extended.cycles) == 4
+
+    def test_fresh_wal_recovers_empty(self, tmp_path):
+        config = _config(tmp_path)
+        state = recover(config.wal_path, fingerprint=config_fingerprint(config))
+        assert state.cycles == [] and state.next_cycle == 0
+
+    def test_snapshot_cadence(self, tmp_path):
+        config = _config(tmp_path, snapshot_every=2)
+        Broker(config).run()
+        snapshot = SnapshotStore(snapshot_path(config.wal_path)).load()
+        # 3 cycles, snapshot every 2: the last publish covered cycles 0-1.
+        assert snapshot["next_cycle"] == 2
+        assert [c["cycle"] for c in snapshot["cycles"]] == [0, 1]
+        assert snapshot["queue"] == []
+        assert snapshot["seeds"]["seed"] == _BASE["seed"]
+
+
+class TestTelemetryCounters:
+    def test_wal_run_reports_durability_counters(self, tmp_path):
+        config = _config(tmp_path)
+        summary = Broker(config).run().summary()
+        assert summary["wal_bytes"] > 0
+        assert summary["snapshot_seconds"] > 0.0
+        assert summary["recovered_batches"] == 0
+        assert summary["worker_restarts"] == 0
+
+    def test_wal_off_counters_zero(self):
+        summary = Broker(BrokerConfig(**_BASE)).run().summary()
+        assert summary["wal_bytes"] == 0
+        assert summary["snapshot_seconds"] == 0.0
+        assert summary["recovered_batches"] == 0

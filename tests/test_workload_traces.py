@@ -102,6 +102,57 @@ class TestJsonlStreaming:
             trace_jsonl_header(path)
 
 
+class TestMalformedJsonlLines:
+    """Malformed request lines must fail loudly, with the line number."""
+
+    HEADER = '{"format_version": 1, "num_slots": 6}\n'
+    GOOD = (
+        '{"request_id": 0, "source": "a", "dest": "b", '
+        '"start": 0, "end": 2, "rate": 1.0, "value": 2.0}\n'
+    )
+
+    def test_truncated_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(self.HEADER + self.GOOD + self.GOOD[: len(self.GOOD) // 2])
+        with pytest.raises(WorkloadError, match="line 3.*malformed"):
+            load_trace_jsonl(path)
+
+    def test_garbage_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text(self.HEADER + self.GOOD + "%%% not json %%%\n" + self.GOOD)
+        with pytest.raises(WorkloadError, match="line 3"):
+            list(iter_trace_jsonl(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "array.jsonl"
+        path.write_text(self.HEADER + "[1, 2, 3]\n")
+        with pytest.raises(WorkloadError, match="line 2.*JSON"):
+            load_trace_jsonl(path)
+
+    def test_missing_field_reports_line_number(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text(
+            self.HEADER + '{"request_id": 0, "source": "a", "dest": "b"}\n'
+        )
+        with pytest.raises(WorkloadError, match="line 2.*invalid trace record"):
+            load_trace_jsonl(path)
+
+    def test_invalid_request_values_report_line_number(self, tmp_path):
+        bad = self.GOOD.replace('"rate": 1.0', '"rate": -3.0')
+        path = tmp_path / "negative.jsonl"
+        path.write_text(self.HEADER + self.GOOD + bad.replace('"request_id": 0', '"request_id": 1'))
+        with pytest.raises(WorkloadError, match="line 3.*rate"):
+            load_trace_jsonl(path)
+
+    def test_trace_source_propagates_line_number(self, tmp_path):
+        from repro.service.ingest import TraceSource
+
+        path = tmp_path / "torn.jsonl"
+        path.write_text(self.HEADER + self.GOOD[: len(self.GOOD) // 2])
+        with pytest.raises(WorkloadError, match="line 2"):
+            TraceSource(path)
+
+
 class TestArrivalStream:
     def test_groups_by_start_slot(self, workload):
         batches = list(arrival_stream(workload))
