@@ -11,6 +11,7 @@
 """
 
 from repro.core.instance import SPMInstance
+from repro.core.fastform import CompiledFormulation, FormulationCompiler
 from repro.core.schedule import Schedule
 from repro.core.maa import MAAResult, solve_maa
 from repro.core.chernoff import chernoff_upper_bound, chernoff_lower_bound, invert_lower_bound, select_mu
@@ -42,6 +43,8 @@ from repro.core.bounds import (
 
 __all__ = [
     "SPMInstance",
+    "CompiledFormulation",
+    "FormulationCompiler",
     "Schedule",
     "MAAResult",
     "solve_maa",

@@ -64,8 +64,10 @@ class SPMInstance:
             ]
             for req_id, path_list in paths.items()
         }
-        # Lazily-built array-native batch compiler (see batch_compiler()).
+        # Lazily-built array-native compilers (see batch_compiler() and
+        # formulation_compiler()).
         self._batch_compiler = None
+        self._fastform = None
 
     # ----------------------------------------------------------- constructors
 
@@ -88,10 +90,30 @@ class SPMInstance:
         return cls(topology, requests, paths)
 
     def restrict(self, request_ids: Iterable[int]) -> "SPMInstance":
-        """The same instance over a subset of the requests."""
+        """The same instance over a subset of the requests — zero-copy.
+
+        The restricted instance *shares* the parent's edge order, edge
+        index, price vector, per-path edge arrays, and any lazily-built
+        array-native compilers (both are keyed per request id, so a subset
+        view stays valid); only the request subset and its path-dict views
+        are new.  Metis restricts once per alternation round, so rebuilding
+        the incidence arrays here used to dominate the non-solver round
+        cost.  Nothing mutates the shared state after construction.
+        """
         subset = self.requests.subset(request_ids)
-        kept_paths = {req.request_id: self.paths[req.request_id] for req in subset}
-        return SPMInstance(self.topology, subset, kept_paths)
+        child = SPMInstance.__new__(SPMInstance)
+        child.topology = self.topology
+        child.requests = subset
+        child.paths = {req.request_id: self.paths[req.request_id] for req in subset}
+        child.edges = self.edges
+        child.edge_index = self.edge_index
+        child.prices = self.prices
+        child.path_edges = {
+            req.request_id: self.path_edges[req.request_id] for req in subset
+        }
+        child._batch_compiler = self._batch_compiler
+        child._fastform = self._fastform
+        return child
 
     # -------------------------------------------------------------- accessors
 
@@ -142,6 +164,23 @@ class SPMInstance:
 
             self._batch_compiler = IncrementalBatchCompiler(self)
         return self._batch_compiler
+
+    def formulation_compiler(self):
+        """The instance's array-native formulation compiler, cached.
+
+        Precomputes every request's (path, edge, slot) incidence arrays
+        once and emits the RL-SPM / BL-SPM / full-SPM compiled models with
+        vectorized numpy assembly, bitwise identical to the expression
+        builders in :mod:`repro.core.formulations`.  Restricted instances
+        share their parent's compiler (see :meth:`restrict`).  Returns a
+        :class:`repro.core.fastform.FormulationCompiler` (imported lazily
+        to avoid a module cycle).
+        """
+        if self._fastform is None:
+            from repro.core.fastform import FormulationCompiler
+
+            self._fastform = FormulationCompiler(self)
+        return self._fastform
 
     # ---------------------------------------------------------------- loads
 

@@ -24,11 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.fastform import FormulationCompiler
 from repro.core.formulations import build_rl_spm, fractional_x
 from repro.core.instance import SPMInstance
 from repro.core.schedule import Schedule
 from repro.exceptions import InfeasibleError, SolverError
 from repro.lp.result import SolveStatus
+from repro.lp.solvers import solve_compiled_raw
 from repro.util.rng import ensure_rng
 
 __all__ = ["MAAResult", "solve_maa", "round_paths", "improve_paths"]
@@ -94,6 +96,7 @@ def solve_maa(
     rng: int | np.random.Generator | None = None,
     time_limit: float | None = None,
     accept_feasible: bool = False,
+    fast_path: bool = True,
 ) -> MAAResult:
     """Run Algorithm 1 (MAA) on ``instance``.
 
@@ -104,13 +107,25 @@ def solve_maa(
     ``accept_feasible=True`` rounds the incumbent weights instead —
     explicitly trading the certificate for availability.
 
+    With ``fast_path`` (default) the RL-SPM relaxation is assembled by the
+    instance's cached :class:`~repro.core.fastform.FormulationCompiler`
+    and the weights / fractional bandwidth are read straight from the raw
+    solution columns — bitwise identical to the expression-layer path
+    (``fast_path=False``), which is kept as the equivalence oracle.
+
     Raises :class:`~repro.exceptions.InfeasibleError` if the relaxation is
     infeasible (cannot happen on strongly connected topologies with
     unlimited purchasable bandwidth) and :class:`SolverError` on solver
     failure.
     """
-    problem = build_rl_spm(instance, integral=False)
-    solution = problem.model.solve(time_limit=time_limit)
+    if fast_path:
+        formulation = instance.formulation_compiler().compile_rl_spm(
+            instance, integral=False
+        )
+        solution = solve_compiled_raw(formulation.compiled, time_limit=time_limit)
+    else:
+        problem = build_rl_spm(instance, integral=False)
+        solution = problem.model.solve(time_limit=time_limit)
     if solution.status is SolveStatus.INFEASIBLE:
         raise InfeasibleError("RL-SPM relaxation is infeasible")
     if not solution.is_optimal and not (
@@ -118,10 +133,17 @@ def solve_maa(
     ):
         raise SolverError(f"RL-SPM relaxation failed: {solution.status}")
 
-    weights = fractional_x(problem, solution)
-    c_hat = np.array(
-        [solution.values[problem.c_vars[idx]] for idx in range(instance.num_edges)]
-    )
+    if fast_path:
+        weights = FormulationCompiler.weights_from_raw(formulation, solution.x)
+        c_hat = np.array(solution.x[formulation.num_x :])
+    else:
+        weights = fractional_x(problem, solution)
+        c_hat = np.array(
+            [
+                solution.values[problem.c_vars[idx]]
+                for idx in range(instance.num_edges)
+            ]
+        )
     positive = c_hat[c_hat > _ALPHA_TOL]
     alpha = float(positive.min()) if positive.size else 0.0
 

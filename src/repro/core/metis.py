@@ -79,13 +79,24 @@ def prune_unprofitable(instance: SPMInstance, schedule: Schedule) -> Schedule:
         loads[edge_indices, window] += req.rate
         return float((prices[edge_indices] * (before - after)).sum())
 
+    # Sort once; later passes walk the same order skipping removed
+    # entries.  Stable sort of the survivors equals the survivor
+    # subsequence of this list, so the examination sequence — and hence
+    # the removal set — is identical to re-sorting every pass.
+    order = sorted(
+        (
+            instance.request(rid)
+            for rid, path_idx in assignment.items()
+            if path_idx is not None
+        ),
+        key=lambda r: r.value,
+    )
     while True:
-        accepted = [
-            instance.request(rid) for rid, p in assignment.items() if p is not None
-        ]
         removed_any = False
-        for req in sorted(accepted, key=lambda r: r.value):
+        for req in order:
             path_idx = assignment[req.request_id]
+            if path_idx is None:
+                continue
             if marginal_saving(req, path_idx) > req.value:
                 window = slice(req.start, req.end + 1)
                 edge_indices = instance.path_edges[req.request_id][path_idx]
@@ -135,18 +146,17 @@ class MinUtilizationLimiter(BandwidthLimiter):
         capacities: dict[EdgeKey, int],
     ) -> dict[EdgeKey, int] | None:
         mean_loads = schedule.loads.mean(axis=1)
-        best_key = None
-        best_util = math.inf
-        for idx, key in enumerate(instance.edges):
-            cap = capacities.get(key, 0)
-            if cap <= 0:
-                continue
-            util = mean_loads[idx] / cap
-            if util < best_util:
-                best_util = util
-                best_key = key
-        if best_key is None:
+        caps = np.array(
+            [capacities.get(key, 0) for key in instance.edges], dtype=float
+        )
+        positive = caps > 0.0
+        if not positive.any():
             return None
+        # argmin's first-minimum convention preserves the deterministic
+        # tie-break of the scalar scan: the lowest edge index wins.
+        utils = np.full(caps.size, math.inf)
+        utils[positive] = mean_loads[positive] / caps[positive]
+        best_key = instance.edges[int(np.argmin(utils))]
         shrunk = dict(capacities)
         shrunk[best_key] = max(0, shrunk[best_key] - self.step)
         return shrunk
@@ -242,7 +252,11 @@ class Metis:
     hard ceiling on one Metis invocation's solver time; by default a
     limit-hit relaxation raises (the paper's guarantees are stated against
     true LP optima), while ``accept_feasible=True`` lets MAA/TAA proceed
-    from limit-hit incumbents instead.
+    from limit-hit incumbents instead.  ``fast_path`` (default) runs
+    MAA/TAA on the array-native formulation compiler and vectorized
+    estimator; the outcome is bit-identical to the expression-layer
+    reference (``fast_path=False``), which is kept as the equivalence
+    oracle.
     """
 
     def __init__(
@@ -255,6 +269,7 @@ class Metis:
         prune: bool = True,
         time_limit: float | None = None,
         accept_feasible: bool = False,
+        fast_path: bool = True,
     ) -> None:
         if theta < 1:
             raise ValueError(f"theta must be >= 1, got {theta}")
@@ -269,6 +284,7 @@ class Metis:
         self.prune = prune
         self.time_limit = time_limit
         self.accept_feasible = accept_feasible
+        self.fast_path = fast_path
 
     def _best_maa_schedule(
         self, instance: SPMInstance, rng: np.random.Generator
@@ -280,6 +296,7 @@ class Metis:
                 rng=rng,
                 time_limit=self.time_limit,
                 accept_feasible=self.accept_feasible,
+                fast_path=self.fast_path,
             ).schedule
             if self.local_search:
                 improved = improve_paths(instance, candidate.assignment)
@@ -353,6 +370,7 @@ class Metis:
                 capacities,
                 time_limit=self.time_limit,
                 accept_feasible=self.accept_feasible,
+                fast_path=self.fast_path,
             )
             taa_profit = taa.schedule.profit
             offer(taa.schedule, "taa", round_index)

@@ -92,6 +92,10 @@ class Schedule:
             self.charged = {instance.edges[i]: 0 for i in range(instance.num_edges)}
             self.charged.update(charged)
             self._check_within_charged()
+        # Lazily cached accounting — assignment and charged are fixed at
+        # construction, so both sums are computed at most once.
+        self._revenue: float | None = None
+        self._cost: float | None = None
 
     @staticmethod
     def charge_for(instance: SPMInstance, loads: np.ndarray) -> dict[tuple, int]:
@@ -132,17 +136,23 @@ class Schedule:
 
     @property
     def revenue(self) -> float:
-        """Service revenue: sum of accepted bids."""
-        return sum(self.instance.request(rid).value for rid in self.accepted_ids)
+        """Service revenue: sum of accepted bids (cached after first read)."""
+        if self._revenue is None:
+            self._revenue = sum(
+                self.instance.request(rid).value for rid in self.accepted_ids
+            )
+        return self._revenue
 
     @property
     def cost(self) -> float:
-        """Service cost: sum of ``u_e * c_e``."""
-        return sum(
-            self.instance.prices[self.instance.edge_index[key]] * units
-            for key, units in self.charged.items()
-            if units
-        )
+        """Service cost: sum of ``u_e * c_e`` (cached after first read)."""
+        if self._cost is None:
+            self._cost = sum(
+                self.instance.prices[self.instance.edge_index[key]] * units
+                for key, units in self.charged.items()
+                if units
+            )
+        return self._cost
 
     @property
     def profit(self) -> float:

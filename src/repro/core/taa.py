@@ -40,12 +40,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.chernoff import invert_lower_bound, select_mu
-from repro.core.estimator import EstimatorTerm, PessimisticEstimator
+from repro.core.estimator import (
+    EstimatorTerm,
+    PessimisticEstimator,
+    VectorizedEstimator,
+)
+from repro.core.fastform import CompiledFormulation, FormulationCompiler
 from repro.core.formulations import build_bl_spm, fractional_x
 from repro.core.instance import SPMInstance
 from repro.core.schedule import Schedule
 from repro.exceptions import AlgorithmError, InfeasibleError, SolverError
 from repro.lp.result import SolveStatus
+from repro.lp.solvers import solve_compiled_raw
 
 __all__ = ["TAAResult", "solve_taa"]
 
@@ -105,6 +111,7 @@ def solve_taa(
     augment: bool = True,
     time_limit: float | None = None,
     accept_feasible: bool = False,
+    fast_path: bool = True,
 ) -> TAAResult:
     """Run Algorithm 2 (TAA) on ``instance`` under ``capacities``.
 
@@ -115,6 +122,13 @@ def solve_taa(
     (the rounding analysis assumes the true LP optimum ``I_hat``), but
     ``accept_feasible=True`` proceeds from the incumbent weights —
     explicitly trading the certificate for availability.
+
+    With ``fast_path`` (default) the BL-SPM relaxation is assembled by the
+    instance's cached :class:`~repro.core.fastform.FormulationCompiler`
+    (weights read straight from the raw solution columns) and the
+    pessimistic estimator is built and walked by the vectorized kernel —
+    both bitwise identical to the expression-layer/reference path
+    (``fast_path=False``), which is kept as the equivalence oracle.
     """
     for key in instance.edges:
         cap = capacities.get(key)
@@ -141,15 +155,25 @@ def solve_taa(
             empty, dict(capacities), 0.0, 1.0, 0.0, math.nan, math.nan, 0
         )
 
-    problem = build_bl_spm(instance, capacities, integral=False)
-    solution = problem.model.solve(time_limit=time_limit)
+    formulation: CompiledFormulation | None = None
+    if fast_path:
+        formulation = instance.formulation_compiler().compile_bl_spm(
+            instance, capacities, integral=False
+        )
+        solution = solve_compiled_raw(formulation.compiled, time_limit=time_limit)
+    else:
+        problem = build_bl_spm(instance, capacities, integral=False)
+        solution = problem.model.solve(time_limit=time_limit)
     if solution.status is SolveStatus.INFEASIBLE:
         raise InfeasibleError("BL-SPM relaxation is infeasible")
     if not solution.is_optimal and not (
         accept_feasible and solution.status is SolveStatus.FEASIBLE
     ):
         raise SolverError(f"BL-SPM relaxation failed: {solution.status}")
-    weights = fractional_x(problem, solution)
+    if fast_path:
+        weights = FormulationCompiler.weights_from_raw(formulation, solution.x)
+    else:
+        weights = fractional_x(problem, solution)
     relaxation_revenue = float(solution.objective)
 
     requests = instance.requests.requests
@@ -189,7 +213,8 @@ def solve_taa(
     t0 = -math.log1p(-gamma) if gamma < 1.0 else 1.0
     t_cap = math.log(1.0 / mu)
 
-    estimator = _build_estimator(
+    build = _build_estimator_fast if fast_path else _build_estimator
+    estimator = build(
         instance,
         weights,
         capacities,
@@ -199,6 +224,7 @@ def solve_taa(
         rate_max=rate_max,
         value_max=value_max,
         revenue_floor_norm=revenue_floor_norm,
+        formulation=formulation,
     )
     initial = estimator.initial_log_value()
     choices, final = estimator.walk()
@@ -239,8 +265,13 @@ def _build_estimator(
     rate_max: float,
     value_max: float,
     revenue_floor_norm: float,
+    formulation: CompiledFormulation | None = None,
 ) -> PessimisticEstimator:
-    """Assemble the sum-of-products estimator for this instance."""
+    """Assemble the sum-of-products estimator for this instance.
+
+    This is the readable reference build; ``formulation`` is unused here
+    (accepted for signature parity with :func:`_build_estimator_fast`).
+    """
     requests = instance.requests.requests
     num_slots = instance.num_slots
 
@@ -308,6 +339,124 @@ def _build_estimator(
         terms=terms,
         log_phi=log_phi,
         choice_deltas=choice_deltas,
+    )
+
+
+def _build_estimator_fast(
+    instance: SPMInstance,
+    weights: dict[int, list[float]],
+    capacities: dict[EdgeKey, int],
+    *,
+    mu: float,
+    t0: float,
+    t_cap: float,
+    rate_max: float,
+    value_max: float,
+    revenue_floor_norm: float,
+    formulation: CompiledFormulation,
+) -> VectorizedEstimator:
+    """Assemble the vectorized estimator from the compiled BL formulation.
+
+    The capacity terms of the estimator are exactly the capacity rows of
+    BL-SPM (same (edge, slot) pairs, same first-appearance order), so the
+    incidence the :class:`~repro.core.fastform.FormulationCompiler`
+    already flattened — per entry its capacity-row rank and x column —
+    is reused verbatim instead of re-walking requests × paths × edges ×
+    slots in Python.  Transcendentals stay scalar ``math.log``/``math.exp``
+    (numpy's SIMD ``np.log``/``np.exp`` are not bitwise-equal to libm on
+    this platform); everything structural is array ops.  The result's
+    ``initial_log_value``/``walk`` match :func:`_build_estimator`'s to
+    exact float equality — asserted by the fuzz tests.
+    """
+    requests = instance.requests.requests
+    num_requests = len(requests)
+    offsets = formulation.x_offsets
+    entry_terms = formulation.entry_terms
+    entry_x_cols = formulation.entry_x_cols
+    entries_per_x = formulation.entries_per_x
+    num_cap = formulation.cap_edges.size
+    num_terms = 1 + num_cap
+    num_x = int(offsets[-1])
+
+    # Term constants: revenue term 0, then one per capacity row.
+    caps = np.array(
+        [capacities[instance.edges[int(e)]] for e in formulation.cap_edges],
+        dtype=float,
+    )
+    log_consts = np.empty(num_terms)
+    log_consts[0] = t0 * revenue_floor_norm
+    log_consts[1:] = -t_cap * (caps / rate_max)
+
+    paths_per_req = np.diff(offsets)
+    values_arr = np.array([req.value for req in requests])
+    rates_arr = np.array([req.rate for req in requests])
+    rev_deltas = -t0 * (values_arr / value_max)  # per request
+    cap_deltas = t_cap * (rates_arr / rate_max)  # per request
+
+    # Entry spans: entries of x column j live at xe_ptr[j]:xe_ptr[j+1].
+    xe_ptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(entries_per_x)]
+    )
+    req_entry_lo = xe_ptr[offsets[:-1]]
+    req_entry_hi = xe_ptr[offsets[1:]]
+
+    # log_phi rows: scalar transcendentals per request / touched term
+    # (few of each), vectorized mass accumulation.
+    log_phi = np.zeros((num_requests, num_terms))
+    mass = np.zeros(num_cap)
+    for row, req in enumerate(requests):
+        p = np.clip(mu * np.asarray(weights[req.request_id], dtype=float), 0.0, 1.0)
+        total_p = min(1.0, float(p.sum()))
+        rev_delta = float(rev_deltas[row])
+        log_phi[row, 0] = math.log(
+            max(1.0 + total_p * (math.exp(rev_delta) - 1.0), 0.0) or 1e-300
+        )
+        bump = math.exp(float(cap_deltas[row])) - 1.0
+        lo, hi = int(req_entry_lo[row]), int(req_entry_hi[row])
+        terms_r = entry_terms[lo:hi]
+        np.add.at(mass, terms_r, p[entry_x_cols[lo:hi] - offsets[row]])
+        touched = np.unique(terms_r)
+        for term in touched:
+            log_phi[row, 1 + term] = math.log(
+                1.0 + min(mass[term], 1.0) * bump
+            )
+        mass[touched] = 0.0
+
+    # Choice deltas, CSR over branches.  Path branch ``j`` of a request:
+    # the revenue delta first, then one cap delta per incidence entry of
+    # x column ``j`` in entry order; the trailing decline branch is empty.
+    counts_per_x = 1 + entries_per_x
+    dptr_x = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts_per_x)])
+    total_deltas = int(dptr_x[-1])
+    starts = dptr_x[:-1]
+    cap_pos = np.ones(total_deltas, dtype=bool)
+    cap_pos[starts] = False
+    delta_terms = np.empty(total_deltas, dtype=np.int64)
+    delta_terms[starts] = 0
+    delta_terms[cap_pos] = 1 + entry_terms
+    delta_vals = np.empty(total_deltas)
+    delta_vals[starts] = np.repeat(rev_deltas, paths_per_req)
+    delta_vals[cap_pos] = np.repeat(cap_deltas, req_entry_hi - req_entry_lo)
+
+    # Branch layout: request i owns branches offsets[i]+i .. offsets[i+1]+i,
+    # the last one its (delta-free) decline.
+    branch_offsets = offsets + np.arange(num_requests + 1, dtype=np.int64)
+    branch_counts = np.zeros(num_x + num_requests, dtype=np.int64)
+    path_branch = np.ones(num_x + num_requests, dtype=bool)
+    path_branch[branch_offsets[1:] - 1] = False
+    branch_counts[path_branch] = counts_per_x
+    delta_ptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(branch_counts)]
+    )
+
+    return VectorizedEstimator(
+        num_requests=num_requests,
+        branch_offsets=branch_offsets,
+        delta_ptr=delta_ptr,
+        delta_terms=delta_terms,
+        delta_vals=delta_vals,
+        log_consts=log_consts,
+        log_phi=log_phi,
     )
 
 

@@ -23,13 +23,34 @@ vector instead of a variable-keyed dict.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ModelError
 from repro.lp.model import CompiledModel
 
-__all__ = ["compile_coo"]
+__all__ = ["compile_coo", "with_row_upper"]
+
+
+def with_row_upper(
+    compiled: CompiledModel, row_upper: np.ndarray
+) -> CompiledModel:
+    """``compiled`` with new row upper bounds, sharing everything else.
+
+    The sparse matrix, objective and column bounds are *not* copied — the
+    returned model aliases them.  This is the cheap between-rounds update
+    for formulations whose varying state enters solely through right-hand
+    sides (the Metis BL-SPM re-solves under shrinking capacities).
+    """
+    row_upper = np.asarray(row_upper, dtype=float)
+    if row_upper.size != compiled.row_upper.size:
+        raise ModelError(
+            f"row_upper sized {row_upper.size}, "
+            f"expected {compiled.row_upper.size}"
+        )
+    return replace(compiled, row_upper=row_upper)
 
 
 def compile_coo(
