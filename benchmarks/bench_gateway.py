@@ -1,0 +1,136 @@
+"""Benchmark of the live gateway: open-loop replay through real sockets.
+
+Drives an in-process :class:`~repro.gateway.GatewayServer` with the
+open-loop :class:`~repro.loadgen.LoadGenerator` — the full wire path
+(NDJSON parse, bounded admission, windowed MILP decisions, response
+pumps) — and reports sustained decisions/sec plus client-observed
+p50/p99/p999 admission latency.  The accounting identity
+``accepted + rejected + shed + errored == submitted`` is asserted on
+both sides of the wire, and conservative throughput floors keep a
+regression from landing silently.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI configuration (5k bids); the full
+run replays 100k bids.
+"""
+
+import asyncio
+import os
+
+from repro.gateway import GatewayConfig, GatewayServer
+from repro.loadgen import LoadGenerator, PoissonArrivals, synthesize_bids
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_BIDS = 5_000 if _SMOKE else 100_000
+_RATE = 5_000.0 if _SMOKE else 20_000.0
+#: Conservative floors — an order of magnitude under observed rates, so
+#: only a real regression (not runner noise) can trip them.
+_FLOOR = 150.0 if _SMOKE else 500.0
+
+_CONFIG = dict(
+    topology="sub-b4",
+    slots_per_cycle=12,
+    window=1,
+    slot_seconds=0.05,
+    # Real-time bounds: at most 32 bids reach the MILP per 50ms window
+    # (two 16-bid chunks); the overflow is shed with immediate answers.
+    queue_capacity=32,
+    max_batch=16,
+    time_limit=1.0,
+)
+
+
+def _replay(config: GatewayConfig, *, seed: int = 2019):
+    """One full load run against a fresh in-process gateway."""
+
+    async def scenario():
+        server = GatewayServer(config)
+        await server.start()
+        host, port = server.address
+        bids = synthesize_bids(
+            server.topology,
+            num_bids=_BIDS,
+            num_slots=config.slots_per_cycle,
+            seed=seed,
+        )
+        generator = LoadGenerator(
+            host, port, arrivals=PoissonArrivals(_RATE, seed=seed), connections=4
+        )
+        load = await generator.run(bids)
+        await server.stop()
+        return server, load
+
+    return asyncio.run(scenario())
+
+
+def _assert_exact(server, load):
+    """Both ledgers reconcile, and they agree bid for bid."""
+    load.assert_reconciled()
+    server.counters.assert_reconciled(where="benchmark epilogue")
+    assert load.submitted == _BIDS and load.lost == 0
+    assert load.accepted == server.counters.accepted
+    assert load.rejected == server.counters.rejected
+    assert load.shed == server.counters.shed
+    assert load.errored == server.counters.errored == 0
+    assert load.accepted > 0, "a live gateway must accept some bids"
+
+
+def _report_line(tag, server, load):
+    latency = load.latency
+    print(
+        f"\n{tag}: {load.submitted} bids, "
+        f"{load.decisions_per_sec:.0f} decisions/sec, "
+        f"accepted {load.accepted} / rejected {load.rejected} / "
+        f"shed {load.shed}, "
+        f"p50 {latency.percentile(50.0) * 1e3:.2f} ms, "
+        f"p99 {latency.percentile(99.0) * 1e3:.2f} ms, "
+        f"p999 {latency.percentile(99.9) * 1e3:.2f} ms"
+    )
+
+
+def _book(benchmark, load):
+    latency = load.latency
+    benchmark.extra_info.update(
+        {
+            "submitted": load.submitted,
+            "accepted": load.accepted,
+            "rejected": load.rejected,
+            "shed": load.shed,
+            "decisions_per_sec": load.decisions_per_sec,
+            "p50_ms": latency.percentile(50.0) * 1e3,
+            "p99_ms": latency.percentile(99.0) * 1e3,
+            "p999_ms": latency.percentile(99.9) * 1e3,
+        }
+    )
+
+
+def test_gateway_replay_throughput(benchmark):
+    """The headline number: open-loop replay through the full wire path."""
+    server, load = benchmark.pedantic(
+        lambda: _replay(GatewayConfig(**_CONFIG)), rounds=1, iterations=1
+    )
+    _assert_exact(server, load)
+    assert load.decisions_per_sec > _FLOOR, (
+        f"gateway sustained {load.decisions_per_sec:.0f} decisions/sec, "
+        f"floor is {_FLOOR:.0f}"
+    )
+    _report_line("replay", server, load)
+    _book(benchmark, load)
+
+
+def test_gateway_replay_with_wal(benchmark, tmp_path):
+    """Journaling every live decision must not change the accounting."""
+    config = GatewayConfig(
+        **_CONFIG, wal_path=tmp_path / "gateway.wal", fsync="batch"
+    )
+    server, load = benchmark.pedantic(
+        lambda: _replay(config), rounds=1, iterations=1
+    )
+    _assert_exact(server, load)
+    assert server.telemetry.wal_bytes > 0
+    assert load.decisions_per_sec > _FLOOR, (
+        f"gateway+wal sustained {load.decisions_per_sec:.0f} decisions/sec, "
+        f"floor is {_FLOOR:.0f}"
+    )
+    _report_line("replay+wal", server, load)
+    _book(benchmark, load)
+    print(f"  wal bytes: {server.telemetry.wal_bytes}")

@@ -29,6 +29,8 @@ __all__ = [
     "JournalError",
     "SnapshotError",
     "RecoveryError",
+    "GatewayError",
+    "ProtocolError",
 ]
 
 
@@ -106,3 +108,21 @@ class SnapshotError(StateError):
 
 class RecoveryError(StateError):
     """Recorded state is inconsistent with the requested configuration."""
+
+
+class GatewayError(ReproError):
+    """Live-gateway failure (accounting violation, bad configuration, ...)."""
+
+
+class ProtocolError(GatewayError):
+    """A malformed wire message.
+
+    Carries the 1-based ``lineno`` of the offending line within its
+    connection, mirroring how :class:`WorkloadError` reports trace line
+    numbers — the gateway answers these with a structured per-line error
+    response instead of dropping the connection.
+    """
+
+    def __init__(self, message: str, *, lineno: int | None = None) -> None:
+        super().__init__(message)
+        self.lineno = lineno

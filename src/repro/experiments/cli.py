@@ -22,6 +22,18 @@ With ``--wal`` the broker journals decisions for crash recovery and
 ``--resume`` continues a killed run bit-identically (see repro.state)::
 
     metis-repro serve --topology b4 --cycles 12 --wal broker.wal --resume
+
+``serve --listen`` runs the *live* gateway instead (repro.gateway): bids
+arrive as newline-delimited JSON over TCP and billing cycles close on
+wall-clock deadlines; ``loadgen`` floods such a gateway with an
+open-loop bid stream and reports decisions/sec plus latency tails::
+
+    metis-repro serve --listen 127.0.0.1:7440 --duration 12 --slot-seconds 0.5
+    metis-repro loadgen --connect 127.0.0.1:7440 --bids 100000 --rate 5000
+
+Both serve modes drain on SIGINT/SIGTERM — pending bids are decided,
+the WAL is flushed and the process exits 0 (a second signal forces exit
+130).
 """
 
 from __future__ import annotations
@@ -46,7 +58,14 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.report import render_results, write_markdown_report
 from repro.util.tables import format_table
 
-__all__ = ["main", "build_parser", "build_serve_parser", "run_serve"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_serve_parser",
+    "build_loadgen_parser",
+    "run_serve",
+    "run_loadgen",
+]
 
 _EXPERIMENTS = ("fig3", "fig4a", "fig4b", "fig4cd", "fig5")
 _ABLATIONS = (
@@ -67,8 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Geo-Distributed Clouds' (ICDCS 2019)"
         ),
         epilog=(
-            "There is also a 'serve' subcommand running the streaming broker "
-            "of repro.service: metis-repro serve --help"
+            "There are also 'serve' (the streaming broker; with --listen, "
+            "the live TCP gateway) and 'loadgen' (the open-loop load "
+            "harness) subcommands: metis-repro serve --help / loadgen --help"
         ),
     )
     parser.add_argument(
@@ -186,7 +206,38 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="slots per billing cycle (e.g. 288 five-minute slots per day)",
     )
     parser.add_argument(
-        "--cycles", type=int, default=1, help="number of rolling billing cycles"
+        "--cycles",
+        type=int,
+        default=None,
+        help=(
+            "number of rolling billing cycles (default 1; with --listen, "
+            "0 or unset serves until a signal)"
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve the live TCP gateway on this address instead of the "
+            "simulated broker (see repro.gateway)"
+        ),
+    )
+    parser.add_argument(
+        "--slot-seconds",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="gateway only: real seconds per billing slot",
+    )
+    parser.add_argument(
+        "--conn-buffer",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="gateway only: per-connection response buffer (slow readers "
+        "beyond it are disconnected)",
     )
     parser.add_argument(
         "--window",
@@ -239,8 +290,8 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--time-limit",
         type=float,
-        default=60.0,
-        help="seconds per batch MILP solve",
+        default=None,
+        help="seconds per batch MILP solve (default 60; 1 with --listen)",
     )
     parser.add_argument(
         "--telemetry",
@@ -280,6 +331,31 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_listen(value: str, flag: str = "--listen") -> tuple[str, int]:
+    """Split a ``HOST:PORT`` address (IPv6 hosts may be bracketed)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"{flag} must be HOST:PORT, got {value!r}")
+    return host.strip("[]") or "127.0.0.1", int(port)
+
+
+def _install_drain_signals(on_first) -> None:
+    """First SIGINT/SIGTERM drains via ``on_first``; the second exits 130."""
+    import os
+    import signal
+
+    seen = {"count": 0}
+
+    def handler(signum, frame) -> None:
+        seen["count"] += 1
+        if seen["count"] >= 2:
+            os._exit(130)
+        on_first()
+
+    signal.signal(signal.SIGINT, handler)
+    signal.signal(signal.SIGTERM, handler)
+
+
 def run_serve(argv: Sequence[str] | None = None) -> int:
     """The ``serve`` subcommand: run the broker and print its report."""
     from repro.exceptions import StateError, WorkloadError
@@ -289,10 +365,12 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and not args.wal:
         parser.error("--resume requires --wal")
+    if args.listen is not None:
+        return _run_serve_live(parser, args)
     try:
         config = BrokerConfig(
             topology=args.topology,
-            num_cycles=args.cycles,
+            num_cycles=1 if args.cycles is None else args.cycles,
             slots_per_cycle=args.duration,
             window=args.window,
             requests_per_cycle=args.requests,
@@ -301,7 +379,7 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
             cache_size=args.cache_size,
             max_batch=args.max_batch,
             queue_capacity=args.queue_capacity,
-            time_limit=args.time_limit,
+            time_limit=60.0 if args.time_limit is None else args.time_limit,
             wal_path=args.wal,
             snapshot_every=args.snapshot_every,
             fsync=args.fsync,
@@ -309,8 +387,13 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
         source = TraceSource(args.trace) if args.trace else None
     except (ValueError, OSError, WorkloadError) as exc:
         parser.error(str(exc))
+    broker = Broker(config, source=source)
+    # A first SIGINT/SIGTERM stops at the next cycle boundary — the WAL
+    # commit + snapshot there make the exit durable — and still exits 0
+    # with the partial report; a second signal forces exit 130.
+    _install_drain_signals(broker.request_stop)
     try:
-        report = Broker(config, source=source).run(resume=args.resume)
+        report = broker.run(resume=args.resume)
     except StateError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -331,7 +414,10 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
             headers,
             rows,
             float_fmt=".3f",
-            title=f"serve: {args.topology}, {args.cycles} cycle(s) x {args.duration} slots",
+            title=(
+                f"serve: {args.topology}, {config.num_cycles} cycle(s) "
+                f"x {args.duration} slots"
+            ),
         )
     )
     summary = report.summary()
@@ -365,11 +451,258 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def _run_serve_live(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """``serve --listen``: the real-time gateway of repro.gateway."""
+    import asyncio
+    import json
+
+    from repro.gateway import GatewayConfig, run_gateway
+
+    overrides = {}
+    if args.time_limit is not None:
+        overrides["time_limit"] = args.time_limit
+    if args.queue_capacity is not None:
+        overrides["queue_capacity"] = args.queue_capacity
+    if args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    try:
+        host, port = _parse_listen(args.listen)
+        config = GatewayConfig(
+            host=host,
+            port=port,
+            topology=args.topology,
+            slots_per_cycle=args.duration,
+            window=args.window,
+            slot_seconds=args.slot_seconds,
+            num_cycles=args.cycles if args.cycles else None,
+            cache_size=args.cache_size,
+            conn_buffer=args.conn_buffer,
+            wal_path=args.wal,
+            snapshot_every=args.snapshot_every,
+            fsync=args.fsync,
+            resume=args.resume,
+            **overrides,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    async def serve() -> "object":
+        from repro.gateway import GatewayServer
+
+        server = GatewayServer(config)
+        await server.start()
+        server.install_signal_handlers()
+        bound_host, bound_port = server.address
+        horizon = config.num_cycles if config.num_cycles else "unbounded"
+        print(
+            f"gateway listening on {bound_host}:{bound_port} "
+            f"({args.topology}, {horizon} cycle(s) x {args.duration} slots "
+            f"x {args.slot_seconds}s, window {args.window})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.wait_closed()
+        return server
+
+    server = asyncio.run(serve())
+    rows = [
+        [
+            c.cycle, c.num_requests, c.accepted, c.declined, c.shed,
+            c.revenue, c.cost, c.profit, c.wall_seconds,
+        ]
+        for c in server.cycles
+    ]
+    if rows:
+        print(
+            format_table(
+                [
+                    "cycle", "requests", "accepted", "declined", "shed",
+                    "revenue", "cost", "profit", "wall_s",
+                ],
+                rows,
+                float_fmt=".3f",
+                title=f"gateway: {args.topology}, {len(rows)} cycle(s) served",
+            )
+        )
+    report = server.report()
+    gw = report["gateway"]
+    lat = report["admission_latency"]
+    print(
+        f"\n{gw['submitted']} bids: {gw['accepted']} accepted, "
+        f"{gw['rejected']} rejected, {gw['shed']} shed, "
+        f"{gw['errored']} errored ({report['bids_per_sec']:.1f} bids/sec)"
+    )
+    print(
+        f"admission latency p50 {lat['p50_ms']:.1f} ms, "
+        f"p99 {lat['p99_ms']:.1f} ms, p999 {lat['p999_ms']:.1f} ms"
+    )
+    if args.wal:
+        print(f"wal {args.wal}: {report['wal_bytes']} bytes (fsync={args.fsync})")
+    if args.telemetry:
+        with open(args.telemetry, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"telemetry written to {args.telemetry}", file=sys.stderr)
+    return 0
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="metis-repro loadgen",
+        description=(
+            "Flood a running 'serve --listen' gateway with an open-loop "
+            "bid stream and report throughput + admission-latency tails"
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        type=str,
+        default="127.0.0.1:7440",
+        metavar="HOST:PORT",
+        help="gateway address",
+    )
+    parser.add_argument(
+        "--bids", type=int, default=10_000, metavar="N", help="bids to submit"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=1000.0,
+        metavar="R",
+        help="mean arrival rate, bids/sec",
+    )
+    parser.add_argument(
+        "--process",
+        choices=("constant", "poisson", "burst"),
+        default="poisson",
+        help="arrival process shape",
+    )
+    parser.add_argument(
+        "--burst-period",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="burst process: seconds per on/off period",
+    )
+    parser.add_argument(
+        "--burst-duty",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="burst process: fraction of each period spent bursting",
+    )
+    parser.add_argument(
+        "--connections", type=int, default=4, help="parallel TCP connections"
+    )
+    parser.add_argument("--seed", type=int, default=2019, help="master seed")
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="replay a recorded trace instead of synthesizing bids",
+    )
+    parser.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="dump the JSON load report here",
+    )
+    return parser
+
+
+def run_loadgen(argv: Sequence[str] | None = None) -> int:
+    """The ``loadgen`` subcommand: drive a live gateway, print the report."""
+    import asyncio
+    import itertools
+    import json
+
+    from repro.exceptions import GatewayError, WorkloadError
+    from repro.loadgen import LoadGenerator, make_arrivals, probe_gateway, synthesize_bids
+    from repro.service.broker import _make_topology
+    from repro.service.ingest import TraceSource
+
+    parser = build_loadgen_parser()
+    args = parser.parse_args(argv)
+    try:
+        host, port = _parse_listen(args.connect, flag="--connect")
+        arrivals = make_arrivals(
+            args.process,
+            args.rate,
+            seed=args.seed,
+            period=args.burst_period,
+            duty=args.burst_duty,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    async def drive():
+        hello = await probe_gateway(host, port)
+        if args.trace:
+            trace = TraceSource(args.trace).trace
+            bids = itertools.islice(
+                itertools.cycle(trace), args.bids or len(trace)
+            )
+        else:
+            topology = _make_topology(str(hello["topology"]).lower())
+            bids = synthesize_bids(
+                topology,
+                num_bids=args.bids,
+                num_slots=int(hello["slots_per_cycle"]),
+                seed=args.seed,
+            )
+        generator = LoadGenerator(
+            host, port, arrivals=arrivals, connections=args.connections
+        )
+        return hello, await generator.run(bids)
+
+    try:
+        hello, report = asyncio.run(drive())
+    except (ConnectionError, OSError, GatewayError, WorkloadError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    lat = report.latency.summary()
+    print(
+        f"loadgen -> {host}:{port} ({hello['topology']}, "
+        f"{hello['slots_per_cycle']} slots x {hello['slot_seconds']}s): "
+        f"{args.process} arrivals at {args.rate:.0f} bids/sec "
+        f"over {report.connections} connection(s)"
+    )
+    print(
+        f"{report.submitted} submitted: {report.accepted} accepted, "
+        f"{report.rejected} rejected, {report.shed} shed, "
+        f"{report.errored} errored, {report.lost} lost "
+        f"in {report.duration_seconds:.2f}s "
+        f"({report.decisions_per_sec:.1f} decisions/sec)"
+    )
+    print(
+        f"end-to-end latency p50 {lat['p50_ms']:.1f} ms, "
+        f"p99 {lat['p99_ms']:.1f} ms, p999 {lat['p999_ms']:.1f} ms "
+        f"(max {lat['max_ms']:.1f} ms)"
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.report}", file=sys.stderr)
+    if not report.reconciles():
+        print(
+            "error: accounting identity violated "
+            f"(responded {report.responded} + lost {report.lost} "
+            f"!= submitted {report.submitted})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return run_loadgen(argv[1:])
     args = build_parser().parse_args(argv)
     results = _run(args)
     print(render_results(results, charts=args.chart))

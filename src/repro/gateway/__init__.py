@@ -1,0 +1,53 @@
+"""repro.gateway — the real-time asyncio bid gateway.
+
+The simulation broker (:mod:`repro.service`) decides bids against a
+simulated clock; this package puts the *same* decision core behind a
+socket and a wall clock.  ``repro serve --listen HOST:PORT`` runs a
+:class:`GatewayServer`: clients submit newline-delimited JSON bids in the
+recorded-trace schema, every bid gets a streamed ``accept`` / ``reject``
+/ ``shed`` response, billing cycles close on real deadlines
+(:class:`WallClock`), admission is bounded end to end
+(:mod:`repro.gateway.backpressure`), and — with a WAL configured — every
+decision flows through the durability layer of :mod:`repro.state`, so
+live gateways crash-recover exactly like offline brokers.
+
+The load side of the story lives in :mod:`repro.loadgen`.
+"""
+
+from repro.gateway.backpressure import GatewayCounters, PendingBid, ResponseChannel
+from repro.gateway.engine import LiveCycleEngine
+from repro.gateway.protocol import (
+    DECISIONS,
+    PROTOCOL_VERSION,
+    bid_to_line,
+    bye_message,
+    decision_message,
+    decode_message,
+    encode_message,
+    error_message,
+    hello_message,
+    parse_bid_line,
+)
+from repro.gateway.server import GatewayConfig, GatewayServer, run_gateway
+from repro.gateway.wallclock import WallClock
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DECISIONS",
+    "encode_message",
+    "decode_message",
+    "bid_to_line",
+    "parse_bid_line",
+    "hello_message",
+    "decision_message",
+    "error_message",
+    "bye_message",
+    "GatewayCounters",
+    "PendingBid",
+    "ResponseChannel",
+    "LiveCycleEngine",
+    "WallClock",
+    "GatewayConfig",
+    "GatewayServer",
+    "run_gateway",
+]

@@ -1,0 +1,186 @@
+"""Backpressure machinery: exact shed accounting and bounded outboxes.
+
+Two invariants keep an overloaded gateway honest:
+
+* **the accounting identity** — every submitted bid line ends in exactly
+  one of four ledgers: ``accepted + rejected + shed + errored ==
+  submitted``.  :class:`GatewayCounters` owns the ledgers and
+  :meth:`GatewayCounters.assert_reconciled` enforces the identity at
+  every window and cycle boundary (where nothing may be pending), so an
+  accounting leak is an immediate :class:`~repro.exceptions.GatewayError`
+  rather than a silently wrong profit report;
+* **no unbounded buffers** — admission waits in the broker's own bounded
+  :class:`~repro.service.ingest.AdmissionQueue` (overflow ⇒ shed, with
+  an immediate response), and responses wait in a per-connection
+  :class:`ResponseChannel` whose overflow marks the *reader* as too slow:
+  the connection is dropped and the undelivered responses counted, never
+  allowed to stall the decision loop or grow without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import GatewayError
+from repro.gateway.protocol import encode_message
+from repro.workload.request import Request
+
+__all__ = ["GatewayCounters", "PendingBid", "ResponseChannel"]
+
+
+@dataclass
+class GatewayCounters:
+    """The gateway's global admission ledgers (one instance per server).
+
+    ``submitted`` counts every non-empty line received; the other four
+    partition it.  ``responses_dropped`` tracks decisions that could not
+    be delivered to slow readers — informational only, since the
+    decision itself is already booked.
+    """
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    errored: int = 0
+    responses_dropped: int = 0
+
+    @property
+    def decided(self) -> int:
+        """Bids that reached a solver (or cache): accepted or rejected."""
+        return self.accepted + self.rejected
+
+    @property
+    def accounted(self) -> int:
+        return self.accepted + self.rejected + self.shed + self.errored
+
+    def reconciles(self, *, pending: int = 0) -> bool:
+        """Does the identity hold given ``pending`` undecided bids?"""
+        return self.accounted + pending == self.submitted
+
+    def assert_reconciled(self, *, pending: int = 0, where: str = "") -> None:
+        """Raise :class:`GatewayError` if the accounting identity is broken."""
+        if not self.reconciles(pending=pending):
+            suffix = f" at {where}" if where else ""
+            raise GatewayError(
+                f"shed accounting violated{suffix}: accepted={self.accepted} "
+                f"+ rejected={self.rejected} + shed={self.shed} "
+                f"+ errored={self.errored} + pending={pending} "
+                f"!= submitted={self.submitted}"
+            )
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "errored": self.errored,
+            "responses_dropped": self.responses_dropped,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayCounters(submitted={self.submitted}, "
+            f"accepted={self.accepted}, rejected={self.rejected}, "
+            f"shed={self.shed}, errored={self.errored})"
+        )
+
+
+@dataclass
+class PendingBid:
+    """One admitted bid waiting for its window to close.
+
+    ``submitted_at`` is the monotonic receive time — the start of the
+    admission-latency measurement; ``channel`` routes the decision back
+    to the submitting connection.
+    """
+
+    request: Request
+    channel: "ResponseChannel"
+    submitted_at: float
+    lineno: int = 0
+
+    # dataclass with a deque-holding channel: compare by identity only
+    __eq__ = object.__eq__
+    __hash__ = object.__hash__
+
+
+@dataclass
+class ResponseChannel:
+    """A bounded per-connection outbox pumped by one writer task.
+
+    :meth:`send` is synchronous (callable from the decision loop without
+    awaiting); the pump coroutine drains the outbox through the stream
+    writer with real ``drain()`` backpressure.  If a slow reader lets the
+    outbox hit ``capacity``, the channel dies: further sends are counted
+    in ``dropped`` and the pump closes the transport — slowness is the
+    reader's problem, never the decision loop's.
+    """
+
+    capacity: int = 1024
+    _outbox: deque = field(default_factory=deque)
+    _wakeup: asyncio.Event = field(default_factory=asyncio.Event)
+    _eof: bool = False
+    dead: bool = False
+    dropped: int = 0
+    sent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+
+    def send(self, message: dict[str, Any]) -> bool:
+        """Queue one response; ``False`` means it will never be delivered."""
+        if self.dead or self._eof:
+            self.dropped += 1
+            return False
+        if len(self._outbox) >= self.capacity:
+            # The reader is not keeping up: kill the channel rather than
+            # buffer without bound or block the decision loop.
+            self.dead = True
+            self.dropped += 1
+            self._wakeup.set()
+            return False
+        self._outbox.append(message)
+        self._wakeup.set()
+        return True
+
+    def close_when_done(self) -> None:
+        """No more sends; the pump exits once the outbox drains."""
+        self._eof = True
+        self._wakeup.set()
+
+    def __len__(self) -> int:
+        return len(self._outbox)
+
+    async def pump(self, writer: asyncio.StreamWriter) -> None:
+        """Drain the outbox through ``writer`` until EOF or death."""
+        try:
+            while True:
+                while self._outbox and not self.dead:
+                    message = self._outbox.popleft()
+                    writer.write(encode_message(message))
+                    self.sent += 1
+                    await writer.drain()
+                if self.dead or (self._eof and not self._outbox):
+                    break
+                self._wakeup.clear()
+                await self._wakeup.wait()
+        except (ConnectionError, asyncio.CancelledError):
+            self.dead = True
+            self.dropped += len(self._outbox)
+            self._outbox.clear()
+            raise
+        except OSError:
+            self.dead = True
+            self.dropped += len(self._outbox)
+            self._outbox.clear()
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass

@@ -1,0 +1,154 @@
+"""Real time for the gateway: the SimClock structure on wall deadlines.
+
+:class:`WallClock` implements the :class:`~repro.service.clock.CycleClock`
+protocol — the same cycle/window/slot partition as
+:class:`~repro.service.clock.SimClock`, byte-identical ``Tick`` streams —
+but additionally pins every boundary to a monotonic wall deadline:
+slot ``s`` of cycle ``c`` closes ``(c * slots_per_cycle + s + 1) *
+slot_seconds`` after :meth:`start`.  The gateway's serving loop sleeps to
+those deadlines, so billing cycles close on real time no matter how
+traffic flows; everything else (the broker core, telemetry, the queues)
+consumes the protocol and cannot tell the two clocks apart — which is
+exactly what lets ``run_cycle`` accept either through its ``clock``
+parameter.
+
+Time is injected (``now`` defaults to :func:`time.monotonic`) so tests
+drive the clock with a fake instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+
+from repro.exceptions import GatewayError
+from repro.service.clock import Tick
+
+__all__ = ["WallClock"]
+
+
+class WallClock:
+    """Wall-time billing cycles: the gateway's deadline source.
+
+    ``num_cycles=None`` runs unbounded (the serve-forever default);
+    bounded clocks mirror :class:`SimClock` exactly.  The purely
+    structural queries (:meth:`windows`, :meth:`ticks`,
+    :meth:`window_of`) never look at the time source, so they agree with
+    a ``SimClock`` of the same shape even before :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        slots_per_cycle: int,
+        *,
+        window: int = 1,
+        num_cycles: int | None = None,
+        slot_seconds: float = 1.0,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if slots_per_cycle < 1:
+            raise ValueError(f"slots_per_cycle must be >= 1, got {slots_per_cycle}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if num_cycles is not None and num_cycles < 1:
+            raise ValueError(f"num_cycles must be >= 1 or None, got {num_cycles}")
+        if not (slot_seconds > 0):
+            raise ValueError(f"slot_seconds must be > 0, got {slot_seconds!r}")
+        self.slots_per_cycle = slots_per_cycle
+        self.window = window
+        self.num_cycles = num_cycles
+        self.slot_seconds = slot_seconds
+        self.now = now
+        self._t0: float | None = None
+
+    # ----------------------------------------------------- structural protocol
+
+    @property
+    def windows_per_cycle(self) -> int:
+        return -(-self.slots_per_cycle // self.window)
+
+    @property
+    def cycle_seconds(self) -> float:
+        return self.slots_per_cycle * self.slot_seconds
+
+    def cycles(self) -> range:
+        if self.num_cycles is None:
+            raise GatewayError("an unbounded WallClock cannot enumerate cycles")
+        return range(self.num_cycles)
+
+    def windows(self, cycle: int) -> Iterator[Tick]:
+        """The admission-window boundaries of one cycle, in time order."""
+        if cycle < 0 or (self.num_cycles is not None and cycle >= self.num_cycles):
+            raise ValueError(
+                f"cycle must be in [0, {self.num_cycles}), got {cycle}"
+            )
+        for start in range(0, self.slots_per_cycle, self.window):
+            stop = min(start + self.window, self.slots_per_cycle)
+            yield Tick(cycle=cycle, window_start=start, window_stop=stop)
+
+    def ticks(self) -> Iterator[Tick]:
+        """Every admission window, cycle by cycle (finite clocks only)."""
+        for cycle in self.cycles():
+            yield from self.windows(cycle)
+
+    def window_of(self, slot: int) -> int:
+        if not (0 <= slot < self.slots_per_cycle):
+            raise ValueError(
+                f"slot must be in [0, {self.slots_per_cycle}), got {slot}"
+            )
+        return slot // self.window
+
+    # ------------------------------------------------------------- wall time
+
+    def start(self, *, at: float | None = None, cycle: int = 0) -> None:
+        """Pin the epoch: cycle ``cycle`` begins now (or at ``at``).
+
+        A resumed gateway passes the recovered ``next_cycle`` so past
+        cycles' deadlines are all in the past by construction and serving
+        continues at the right boundary.
+        """
+        if cycle < 0:
+            raise ValueError(f"cycle must be >= 0, got {cycle}")
+        origin = self.now() if at is None else at
+        self._t0 = origin - cycle * self.cycle_seconds
+
+    @property
+    def started(self) -> bool:
+        return self._t0 is not None
+
+    def _require_started(self) -> float:
+        if self._t0 is None:
+            raise GatewayError("WallClock.start() must be called first")
+        return self._t0
+
+    def elapsed(self) -> float:
+        """Seconds since the (possibly back-dated) epoch."""
+        return self.now() - self._require_started()
+
+    def current_slot(self) -> int:
+        """The global slot index the wall clock is currently inside."""
+        return max(0, int(self.elapsed() / self.slot_seconds))
+
+    def current_cycle(self) -> int:
+        return self.current_slot() // self.slots_per_cycle
+
+    def slot_in_cycle(self) -> int:
+        return self.current_slot() % self.slots_per_cycle
+
+    def deadline(self, tick: Tick) -> float:
+        """The monotonic instant at which ``tick``'s window closes."""
+        t0 = self._require_started()
+        global_stop = tick.cycle * self.slots_per_cycle + tick.window_stop
+        return t0 + global_stop * self.slot_seconds
+
+    def remaining(self, deadline: float) -> float:
+        """Seconds until ``deadline`` (clamped at 0)."""
+        return max(0.0, deadline - self.now())
+
+    def __repr__(self) -> str:
+        horizon = "unbounded" if self.num_cycles is None else self.num_cycles
+        return (
+            f"WallClock(cycles={horizon}, "
+            f"slots_per_cycle={self.slots_per_cycle}, window={self.window}, "
+            f"slot_seconds={self.slot_seconds}, started={self.started})"
+        )

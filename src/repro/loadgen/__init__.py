@@ -1,0 +1,32 @@
+"""repro.loadgen — the open-loop load harness for the live gateway.
+
+``repro loadgen`` (CLI) or :class:`LoadGenerator` (API) replays or
+synthesizes bid streams — up to millions of bids — against a ``repro
+serve`` gateway at a controlled arrival rate
+(:class:`ConstantArrivals` / :class:`PoissonArrivals` /
+:class:`BurstArrivals`), then reports decisions/sec and p50/p99/p999
+admission latency plus the end-to-end accounting identity: every
+submitted bid came back as exactly one accept/reject/shed/error.
+"""
+
+from repro.loadgen.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    ConstantArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.loadgen.client import LoadGenerator, probe_gateway, synthesize_bids
+from repro.loadgen.report import LoadReport
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantArrivals",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "make_arrivals",
+    "LoadGenerator",
+    "probe_gateway",
+    "synthesize_bids",
+    "LoadReport",
+]

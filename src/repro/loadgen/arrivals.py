@@ -1,0 +1,130 @@
+"""Arrival processes: when each bid leaves the load generator.
+
+The generator is *open loop*: send times are laid out in advance by an
+arrival process and never react to responses — exactly the discipline
+that exposes admission-latency tails instead of hiding them behind
+coordinated omission.  Each process is deterministic in its seed, so a
+load run is replayable bid-for-bid.
+
+All processes yield **inter-arrival gaps in seconds**; the client turns
+the cumulative sum into absolute send deadlines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantArrivals",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "make_arrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """A stream of inter-arrival gaps at a target mean rate (bids/sec)."""
+
+    rate: float
+
+    @abstractmethod
+    def gaps(self) -> Iterator[float]:
+        """An unbounded iterator of inter-arrival gaps (seconds, >= 0)."""
+
+    def _check_rate(self, rate: float) -> float:
+        if not (rate > 0):
+            raise ValueError(f"rate must be > 0 bids/sec, got {rate!r}")
+        return float(rate)
+
+
+class ConstantArrivals(ArrivalProcess):
+    """A perfectly paced stream: one bid every ``1/rate`` seconds."""
+
+    def __init__(self, rate: float) -> None:
+        self.rate = self._check_rate(rate)
+
+    def gaps(self) -> Iterator[float]:
+        gap = 1.0 / self.rate
+        while True:
+            yield gap
+
+    def __repr__(self) -> str:
+        return f"ConstantArrivals(rate={self.rate})"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``.
+
+    The classic open-loop model — short-range bursts arise naturally, so
+    queues see realistic contention even at moderate mean rates.
+    """
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        self.rate = self._check_rate(rate)
+        self.seed = seed
+
+    def gaps(self) -> Iterator[float]:
+        rng = ensure_rng(self.seed)
+        scale = 1.0 / self.rate
+        while True:
+            # Draw in blocks: one numpy call per 4096 gaps, not per bid.
+            for gap in rng.exponential(scale, size=4096):
+                yield float(gap)
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self.rate}, seed={self.seed})"
+
+
+class BurstArrivals(ArrivalProcess):
+    """On/off square-wave traffic: bursts at ``rate / duty``, then silence.
+
+    During the on-phase (fraction ``duty`` of each ``period``) bids are
+    paced uniformly at ``rate / duty`` so the *mean* over a full period
+    is still ``rate`` — the overload pattern that exercises shedding and
+    backpressure hardest.
+    """
+
+    def __init__(self, rate: float, *, period: float = 1.0, duty: float = 0.2) -> None:
+        self.rate = self._check_rate(rate)
+        if not (period > 0):
+            raise ValueError(f"period must be > 0 seconds, got {period!r}")
+        if not (0 < duty <= 1):
+            raise ValueError(f"duty must be in (0, 1], got {duty!r}")
+        self.period = float(period)
+        self.duty = float(duty)
+
+    def gaps(self) -> Iterator[float]:
+        burst_len = self.period * self.duty
+        burst_rate = self.rate / self.duty
+        per_burst = max(1, round(burst_rate * burst_len))
+        gap = burst_len / per_burst
+        silence = self.period - burst_len
+        while True:
+            for index in range(per_burst):
+                # The first gap of a period carries the off-phase pause.
+                yield gap + (silence if index == 0 else 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstArrivals(rate={self.rate}, period={self.period}, "
+            f"duty={self.duty})"
+        )
+
+
+def make_arrivals(
+    process: str, rate: float, *, seed: int = 0, period: float = 1.0, duty: float = 0.2
+) -> ArrivalProcess:
+    """Build an arrival process by name (the CLI's ``--process`` values)."""
+    if process == "constant":
+        return ConstantArrivals(rate)
+    if process == "poisson":
+        return PoissonArrivals(rate, seed=seed)
+    if process == "burst":
+        return BurstArrivals(rate, period=period, duty=duty)
+    raise ValueError(
+        f"process must be one of ('constant', 'poisson', 'burst'), got {process!r}"
+    )

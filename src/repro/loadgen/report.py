@@ -1,0 +1,94 @@
+"""The load run's result: client-side counts, rates and latency tails."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import GatewayError
+from repro.service.telemetry import LatencyHistogram
+
+__all__ = ["LoadReport"]
+
+
+@dataclass
+class LoadReport:
+    """What one :class:`~repro.loadgen.LoadGenerator` run observed.
+
+    All counts are **client-side** — decisions and errors actually read
+    off the wire — so the accounting identity here is end-to-end: every
+    submitted bid line must come back as exactly one of
+    accept/reject/shed/error.  ``lost`` counts submissions whose response
+    never arrived (a killed connection); the identity then reads
+    ``accepted + rejected + shed + errored + lost == submitted``.
+
+    ``latency`` is measured at the client from send to response receipt
+    (log-bucketed, the same histogram the gateway keeps server-side), so
+    the reported p50/p99/p999 include wire and queueing time — the
+    number a customer would see.
+    """
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    errored: int = 0
+    lost: int = 0
+    connections: int = 0
+    duration_seconds: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def responded(self) -> int:
+        return self.accepted + self.rejected + self.shed + self.errored
+
+    @property
+    def decisions_per_sec(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.responded / self.duration_seconds
+
+    def reconciles(self) -> bool:
+        return self.responded + self.lost == self.submitted
+
+    def assert_reconciled(self) -> None:
+        """Raise :class:`GatewayError` unless every bid is accounted for."""
+        if not self.reconciles():
+            raise GatewayError(
+                "load accounting violated: "
+                f"accepted={self.accepted} + rejected={self.rejected} + "
+                f"shed={self.shed} + errored={self.errored} + "
+                f"lost={self.lost} != submitted={self.submitted}"
+            )
+
+    def merge(self, other: "LoadReport") -> None:
+        """Fold another connection's counts into this report."""
+        self.submitted += other.submitted
+        self.accepted += other.accepted
+        self.rejected += other.rejected
+        self.shed += other.shed
+        self.errored += other.errored
+        self.lost += other.lost
+        self.latency.merge(other.latency)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "errored": self.errored,
+            "lost": self.lost,
+            "connections": self.connections,
+            "duration_seconds": self.duration_seconds,
+            "decisions_per_sec": self.decisions_per_sec,
+            "latency": self.latency.summary(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadReport(submitted={self.submitted}, accepted={self.accepted}, "
+            f"rejected={self.rejected}, shed={self.shed}, "
+            f"errored={self.errored}, lost={self.lost}, "
+            f"decisions_per_sec={self.decisions_per_sec:.1f})"
+        )

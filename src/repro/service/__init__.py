@@ -15,15 +15,20 @@ from repro.service.broker import (
     run_cycle,
 )
 from repro.service.cache import DecisionCache
-from repro.service.clock import SimClock, Tick
+from repro.service.clock import CycleClock, SimClock, Tick
 from repro.service.ingest import (
     AdmissionQueue,
     ArrivalSource,
     GeneratorSource,
+    PushSource,
     TraceSource,
 )
 from repro.service.pool import SolverPool, default_workers
-from repro.service.telemetry import BatchRecord, TelemetryCollector
+from repro.service.telemetry import (
+    BatchRecord,
+    LatencyHistogram,
+    TelemetryCollector,
+)
 
 __all__ = [
     "Broker",
@@ -32,14 +37,17 @@ __all__ = [
     "CycleResult",
     "run_cycle",
     "DecisionCache",
+    "CycleClock",
     "SimClock",
     "Tick",
     "AdmissionQueue",
     "ArrivalSource",
     "GeneratorSource",
+    "PushSource",
     "TraceSource",
     "SolverPool",
     "default_workers",
     "BatchRecord",
+    "LatencyHistogram",
     "TelemetryCollector",
 ]

@@ -209,12 +209,18 @@ def run_cycle(
     check_cancelled=None,
     fast_path: bool = True,
     on_batch=None,
+    clock=None,
 ) -> CycleResult:
     """Serve one billing cycle end to end; the broker's core loop.
 
     Deterministic given its inputs: batches form in arrival order, every
     decision is an exact MILP (or an exact cache replay), and the final
     accounting charges the ceiling of each edge's realized peak load.
+
+    ``clock`` injects any :class:`~repro.service.clock.CycleClock`
+    implementation for the window cadence (default: a fresh
+    :class:`SimClock` over the cycle's slots — ``window`` is ignored when
+    a clock is passed, since the clock owns the window structure).
 
     Degrades gracefully under ``time_limit`` pressure instead of crashing
     the serving loop: a limit-hit solve with a feasible incumbent keeps
@@ -229,7 +235,8 @@ def run_cycle(
     """
     t0 = time.perf_counter()
     instance = SPMInstance.build(topology, requests, k_paths=k_paths)
-    clock = SimClock(requests.num_slots, window=window)
+    if clock is None:
+        clock = SimClock(requests.num_slots, window=window)
     committed = np.zeros((instance.num_edges, instance.num_slots))
     charged = np.zeros(instance.num_edges)
     assignment: dict[int, int | None] = {}
@@ -507,6 +514,7 @@ class Broker:
     ) -> None:
         self.config = config if config is not None else BrokerConfig()
         self.faults = faults
+        self._stop_requested = False
         self.topology = _make_topology(self.config.topology)
         if source is None:
             source = GeneratorSource(
@@ -520,6 +528,22 @@ class Broker:
                 seed=self.config.seed,
             )
         self.source = source
+
+    def request_stop(self) -> None:
+        """Ask a running broker to stop at the next cycle boundary.
+
+        Signal-safe (sets a flag; no locks, no I/O), so the ``serve`` CLI
+        installs it as its SIGINT/SIGTERM handler: the in-flight cycle is
+        finished, journaled, committed and snapshotted as usual, then
+        :meth:`run` returns the partial report — a drained exit rather
+        than a torn one.  Resuming later with ``resume=True`` picks up
+        exactly where the stop landed.
+        """
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
 
     def run(self, *, resume: bool = False) -> BrokerReport:
         """Serve every configured cycle and return the full report.
@@ -611,6 +635,8 @@ class Broker:
         cache = DecisionCache(config.cache_size) if config.cache_size > 0 else None
         results = []
         for index in range(start, config.num_cycles):
+            if self._stop_requested:
+                break
             result = run_cycle(
                 self.topology,
                 self.source.cycle(index),
@@ -654,6 +680,8 @@ class Broker:
                 if writer is not None:
                     writer.commit_cycle(result)
                 results.append(result)
+                if self._stop_requested:
+                    break
             self._worker_restarts = solver_pool.worker_restarts
         return results
 

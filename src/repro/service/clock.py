@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
-__all__ = ["Tick", "SimClock"]
+__all__ = ["Tick", "CycleClock", "SimClock"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,26 @@ class Tick:
     @property
     def slots(self) -> range:
         return range(self.window_start, self.window_stop)
+
+
+@runtime_checkable
+class CycleClock(Protocol):
+    """The clock protocol the serving loop runs on.
+
+    Anything that partitions a billing cycle into ordered admission-window
+    :class:`Tick`\\ s satisfies it: :class:`SimClock` advances logically
+    (two runs tick identically — the replayable default), while
+    :class:`repro.gateway.WallClock` pins the same structure to real
+    deadlines so cycles close on the wall clock.  ``run_cycle`` accepts
+    any implementation via its ``clock`` parameter.
+    """
+
+    slots_per_cycle: int
+    window: int
+
+    def windows(self, cycle: int) -> Iterator[Tick]: ...
+
+    def window_of(self, slot: int) -> int: ...
 
 
 class SimClock:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
+from collections.abc import Iterable
 from pathlib import Path
 
 from repro.exceptions import WorkloadError
@@ -31,6 +32,7 @@ __all__ = [
     "ArrivalSource",
     "GeneratorSource",
     "TraceSource",
+    "PushSource",
     "AdmissionQueue",
 ]
 
@@ -114,6 +116,56 @@ class TraceSource(ArrivalSource):
         # equal (here: identical) sets.
         if self._idle is None:
             self._idle = RequestSet([], self.trace.num_slots)
+        return self._idle
+
+
+class PushSource(ArrivalSource):
+    """An arrival source fed from outside the broker — the gateway seam.
+
+    The generator and trace sources *pull* a whole cycle's bids on
+    demand; a live front end instead learns what arrived only as the
+    wall clock closes each cycle.  :meth:`feed` records cycle
+    ``cycle_index``'s realized arrivals (exactly once), after which
+    :meth:`cycle` serves them like any other source — so a broker can
+    re-run or audit precisely the traffic a gateway served, and the
+    determinism contract (same index, same set) still holds.
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots < 1:
+            raise WorkloadError(f"num_slots must be >= 1, got {num_slots}")
+        self.num_slots = num_slots
+        self._cycles: dict[int, RequestSet] = {}
+        self._idle: RequestSet | None = None
+
+    def feed(self, cycle_index: int, requests: RequestSet | Iterable[Request]) -> None:
+        """Record cycle ``cycle_index``'s arrivals; refuses to re-feed."""
+        if cycle_index < 0:
+            raise WorkloadError(f"cycle_index must be >= 0, got {cycle_index}")
+        if cycle_index in self._cycles:
+            raise WorkloadError(
+                f"cycle {cycle_index} was already fed; sources must stay "
+                "deterministic in the cycle index"
+            )
+        if not isinstance(requests, RequestSet):
+            requests = RequestSet(requests, self.num_slots)
+        elif requests.num_slots != self.num_slots:
+            raise WorkloadError(
+                f"fed cycle has {requests.num_slots} slots, source expects "
+                f"{self.num_slots}"
+            )
+        self._cycles[cycle_index] = requests
+
+    @property
+    def fed_cycles(self) -> list[int]:
+        return sorted(self._cycles)
+
+    def cycle(self, cycle_index: int) -> RequestSet:
+        fed = self._cycles.get(cycle_index)
+        if fed is not None:
+            return fed
+        if self._idle is None:
+            self._idle = RequestSet([], self.num_slots)
         return self._idle
 
 

@@ -18,9 +18,153 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
 
+import math
+
 import numpy as np
 
-__all__ = ["BatchRecord", "TelemetryCollector"]
+__all__ = ["BatchRecord", "LatencyHistogram", "TelemetryCollector"]
+
+
+class LatencyHistogram:
+    """A log-bucketed latency histogram with O(1) recording.
+
+    Buckets are spaced geometrically (``growth`` per bucket, default ~9%)
+    between ``min_seconds`` and ``max_seconds``, so the relative
+    quantile error is bounded by one bucket width no matter how many
+    samples land — the structure every latency-reporting path (the
+    gateway's admission loop, the load generator's client-side clock)
+    shares instead of keeping per-sample arrays for millions of bids.
+
+    ``percentile`` answers from cumulative bucket counts using the bucket
+    upper edge (a conservative read).  Histograms with identical bucket
+    geometry can be :meth:`merge`\\ d, and the dict round-trip
+    (:meth:`to_dict` / :meth:`from_dict`) is what benchmark artifacts
+    embed.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_seconds: float = 1e-6,
+        max_seconds: float = 300.0,
+        growth: float = 1.09,
+    ) -> None:
+        if not (0 < min_seconds < max_seconds):
+            raise ValueError(
+                f"need 0 < min_seconds < max_seconds, got "
+                f"{min_seconds!r}, {max_seconds!r}"
+            )
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth!r}")
+        self.min_seconds = min_seconds
+        self.max_seconds = max_seconds
+        self.growth = growth
+        self._log_min = math.log(min_seconds)
+        self._log_growth = math.log(growth)
+        num_buckets = (
+            int(math.ceil((math.log(max_seconds) - self._log_min) / self._log_growth))
+            + 1
+        )
+        #: counts[0] is the underflow bucket (< min_seconds); the last
+        #: bucket absorbs overflow (>= max_seconds).
+        self.counts = np.zeros(num_buckets + 1, dtype=np.int64)
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_observed = 0.0
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds < self.min_seconds:
+            return 0
+        index = int((math.log(seconds) - self._log_min) / self._log_growth) + 1
+        return min(index, len(self.counts) - 1)
+
+    def bucket_upper(self, index: int) -> float:
+        """The upper edge (seconds) of bucket ``index``."""
+        if index <= 0:
+            return self.min_seconds
+        return min(self.min_seconds * self.growth**index, self.max_seconds)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds!r}")
+        self.counts[self._bucket(seconds)] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_observed:
+            self.max_observed = seconds
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (seconds), read from bucket edges."""
+        if not (0 <= q <= 100):
+            raise ValueError(f"q must be in [0, 100], got {q!r}")
+        if self.total == 0:
+            return 0.0
+        target = math.ceil(self.total * q / 100.0)
+        cumulative = np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, max(target, 1)))
+        return min(self.bucket_upper(index), self.max_observed)
+
+    @property
+    def mean(self) -> float:
+        return self.sum_seconds / self.total if self.total else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (same geometry only)."""
+        if (
+            other.min_seconds != self.min_seconds
+            or other.max_seconds != self.max_seconds
+            or other.growth != self.growth
+        ):
+            raise ValueError("cannot merge histograms with different buckets")
+        self.counts += other.counts
+        self.total += other.total
+        self.sum_seconds += other.sum_seconds
+        self.max_observed = max(self.max_observed, other.max_observed)
+
+    def summary(self) -> dict[str, float]:
+        """The standard latency block: p50/p99/p999 in milliseconds."""
+        return {
+            "samples": self.total,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "p999_ms": self.percentile(99.9) * 1e3,
+            "max_ms": self.max_observed * 1e3,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "growth": self.growth,
+            "counts": self.counts.tolist(),
+            "total": self.total,
+            "sum_seconds": self.sum_seconds,
+            "max_observed": self.max_observed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LatencyHistogram":
+        hist = cls(
+            min_seconds=data["min_seconds"],
+            max_seconds=data["max_seconds"],
+            growth=data["growth"],
+        )
+        counts = np.asarray(data["counts"], dtype=np.int64)
+        if counts.shape != hist.counts.shape:
+            raise ValueError("histogram counts do not match bucket geometry")
+        hist.counts = counts
+        hist.total = int(data["total"])
+        hist.sum_seconds = float(data["sum_seconds"])
+        hist.max_observed = float(data["max_observed"])
+        return hist
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(samples={self.total}, "
+            f"p50={self.percentile(50) * 1e3:.3f}ms, "
+            f"p99={self.percentile(99) * 1e3:.3f}ms)"
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +241,19 @@ class TelemetryCollector:
         times = np.array([record.solver_seconds for record in self.batches])
         return float(np.percentile(times, q))
 
+    def latency_histogram(self, **kwargs) -> LatencyHistogram:
+        """The per-batch decision latencies as a :class:`LatencyHistogram`.
+
+        The log-bucketed form the gateway and load generator share — exact
+        per-sample percentiles stay available through
+        :meth:`latency_percentile` for the batch-count regime the broker
+        runs in.
+        """
+        hist = LatencyHistogram(**kwargs)
+        for record in self.batches:
+            hist.record(record.solver_seconds)
+        return hist
+
     def summary(self) -> dict[str, Any]:
         """The run-level JSON-compatible summary."""
         accepted = sum(r.accepted for r in self.batches)
@@ -129,6 +286,7 @@ class TelemetryCollector:
             "decisions_per_sec": decisions / wall if wall > 0 else 0.0,
             "latency_p50_ms": self.latency_percentile(50) * 1e3,
             "latency_p95_ms": self.latency_percentile(95) * 1e3,
+            "latency_p99_ms": self.latency_percentile(99) * 1e3,
             "latency_max_ms": self.latency_percentile(100) * 1e3,
             "recovered_batches": self.recovered_batches,
             "wal_bytes": self.wal_bytes,

@@ -166,6 +166,19 @@ class Journal:
         if self.fsync == "batch":
             self._sync(handle)
 
+    def sync(self) -> None:
+        """Force an fsync *regardless* of the configured policy.
+
+        The drain-then-flush hook: a gracefully stopping server (the
+        gateway's SIGINT/SIGTERM path) calls this after its final commit
+        so even an ``fsync="never"`` journal is durable before the
+        process exits — the one moment the policy's throughput trade-off
+        no longer buys anything.
+        """
+        handle = self._require_open()
+        handle.flush()
+        self._sync(handle)
+
     def _sync(self, handle) -> None:
         try:
             self._fsync_hook(handle.fileno())
@@ -181,9 +194,12 @@ class Journal:
             self._handle.flush()
         return self.path.stat().st_size if self.path.exists() else 0
 
-    def close(self) -> None:
+    def close(self, *, sync: bool = False) -> None:
+        """Close the journal; with ``sync=True`` fsync first (see :meth:`sync`)."""
         if self._handle is not None:
             self._handle.flush()
+            if sync:
+                self._sync(self._handle)
             self._handle.close()
             self._handle = None
 

@@ -14,7 +14,7 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
-FAST_EXAMPLES = ["custom_topology.py", "np_hardness_demo.py"]
+FAST_EXAMPLES = ["custom_topology.py", "np_hardness_demo.py", "live_gateway.py"]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -40,5 +40,6 @@ def test_all_examples_present():
         "np_hardness_demo.py",
         "risk_analysis.py",
         "deadline_flexibility.py",
+        "live_gateway.py",
     }
     assert expected <= scripts

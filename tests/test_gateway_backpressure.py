@@ -1,0 +1,181 @@
+"""Backpressure invariants: shed accounting identity, bounded outboxes.
+
+The hypothesis test is the satellite the issue asks for: flood a bounded
+admission queue faster than it drains, under arbitrary interleavings of
+offers and window closes, and the identity ``accepted + rejected + shed
++ errored == submitted`` must hold *exactly* at every cycle boundary —
+no bid lost, none double-counted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GatewayError
+from repro.gateway.backpressure import GatewayCounters, PendingBid, ResponseChannel
+from repro.gateway.protocol import decode_message
+from repro.service.ingest import AdmissionQueue
+from repro.workload.request import Request
+
+
+def _request(rid: int) -> Request:
+    return Request(
+        request_id=rid, source="A", dest="B", start=0, end=3, rate=1.0, value=5.0
+    )
+
+
+class TestGatewayCounters:
+    def test_identity_holds_when_partitioned(self):
+        counters = GatewayCounters(
+            submitted=10, accepted=4, rejected=3, shed=2, errored=1
+        )
+        assert counters.reconciles()
+        counters.assert_reconciled(where="test")
+
+    def test_pending_extends_identity(self):
+        counters = GatewayCounters(submitted=5, accepted=2)
+        assert not counters.reconciles()
+        assert counters.reconciles(pending=3)
+
+    def test_violation_raises_with_breakdown(self):
+        counters = GatewayCounters(submitted=5, accepted=1)
+        with pytest.raises(GatewayError, match="accepted=1"):
+            counters.assert_reconciled(where="cycle 3 commit")
+        with pytest.raises(GatewayError, match="cycle 3 commit"):
+            counters.assert_reconciled(where="cycle 3 commit")
+
+    def test_to_dict_round_trips_fields(self):
+        counters = GatewayCounters(submitted=2, shed=1, errored=1)
+        assert counters.to_dict()["shed"] == 1
+        assert counters.decided == 0
+
+
+# One op per submitted bid: True = a window/cycle boundary closes first.
+_OPS = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=4)),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestSheddingIdentityProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_OPS, capacity=st.integers(min_value=1, max_value=8))
+    def test_flood_never_breaks_the_identity(self, ops, capacity):
+        """Arbitrary offer/drain interleavings reconcile at every boundary.
+
+        Bids arrive in bursts of 0-4 between window closes; the queue
+        holds at most ``capacity``.  Every drained bid is decided
+        (alternately accepted/rejected), every overflow is shed — and at
+        each boundary, with nothing pending after the drain, the ledger
+        must partition the submissions exactly.
+        """
+        counters = GatewayCounters()
+        queue = AdmissionQueue(capacity)
+        rid = 0
+        flip = False
+        for close_window, burst in ops:
+            for _ in range(burst):
+                counters.submitted += 1
+                if queue.offer(_request(rid)):
+                    pass  # pending until the next close
+                else:
+                    counters.shed += 1
+                rid += 1
+            counters.assert_reconciled(
+                pending=len(queue), where=f"after burst of {burst}"
+            )
+            if close_window:
+                for _ in queue.drain():
+                    flip = not flip
+                    if flip:
+                        counters.accepted += 1
+                    else:
+                        counters.rejected += 1
+                # The window boundary: nothing pending, exact identity.
+                assert len(queue) == 0
+                counters.assert_reconciled(where="window close")
+        for _ in queue.drain():
+            counters.accepted += 1
+        counters.assert_reconciled(where="final drain")
+        assert counters.accounted == counters.submitted == rid
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        offers=st.integers(min_value=0, max_value=50),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    def test_shed_count_is_exactly_the_overflow(self, offers, capacity):
+        queue = AdmissionQueue(capacity)
+        accepted = sum(1 for i in range(offers) if queue.offer(_request(i)))
+        assert accepted == min(offers, capacity)
+        assert queue.shed == max(0, offers - capacity)
+
+
+class TestResponseChannel:
+    def test_send_queues_until_capacity(self):
+        channel = ResponseChannel(capacity=3)
+        for i in range(3):
+            assert channel.send({"type": "decision", "i": i})
+        assert len(channel) == 3 and not channel.dead
+
+    def test_overflow_kills_the_channel_not_the_caller(self):
+        channel = ResponseChannel(capacity=2)
+        assert channel.send({"type": "decision", "i": 0})
+        assert channel.send({"type": "decision", "i": 1})
+        assert not channel.send({"type": "decision", "i": 2})
+        assert channel.dead and channel.dropped == 1
+        # Further sends keep counting drops without raising.
+        assert not channel.send({"type": "decision", "i": 3})
+        assert channel.dropped == 2
+
+    def test_send_after_eof_is_dropped(self):
+        channel = ResponseChannel(capacity=4)
+        channel.close_when_done()
+        assert not channel.send({"type": "decision"})
+        assert channel.dropped == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResponseChannel(capacity=0)
+
+    def test_pump_delivers_in_order_over_a_real_stream(self):
+        async def scenario():
+            server_channel = ResponseChannel(capacity=16)
+
+            async def handler(reader, writer):
+                for i in range(5):
+                    server_channel.send({"type": "decision", "request_id": i})
+                server_channel.close_when_done()
+                await server_channel.pump(writer)
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            got = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                got.append(decode_message(line)["request_id"])
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return got, server_channel.sent
+
+        got, sent = asyncio.run(scenario())
+        assert got == [0, 1, 2, 3, 4]
+        assert sent == 5
+
+
+class TestPendingBid:
+    def test_identity_semantics(self):
+        channel = ResponseChannel()
+        a = PendingBid(request=_request(1), channel=channel, submitted_at=0.0)
+        b = PendingBid(request=_request(1), channel=channel, submitted_at=0.0)
+        assert a != b and a == a
+        assert len({a, b}) == 2

@@ -1,0 +1,124 @@
+"""Wire-protocol tests: bid parsing, structured errors, response shapes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.gateway.protocol import (
+    DECISIONS,
+    PROTOCOL_VERSION,
+    bid_to_line,
+    bye_message,
+    decision_message,
+    decode_message,
+    encode_message,
+    error_message,
+    hello_message,
+    parse_bid_line,
+)
+from repro.workload.request import Request
+
+
+def _bid(**overrides) -> dict:
+    record = {
+        "request_id": 7,
+        "source": "A",
+        "dest": "B",
+        "start": 1,
+        "end": 4,
+        "rate": 2.5,
+        "value": 12.0,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestBidLines:
+    def test_roundtrip_through_wire_schema(self):
+        request = Request(
+            request_id=3, source="A", dest="B", start=0, end=5, rate=1.5, value=9.0
+        )
+        line = bid_to_line(request)
+        assert line.endswith(b"\n")
+        parsed = parse_bid_line(line, 1)
+        assert parsed == request
+
+    def test_accepts_str_and_bytes(self):
+        line = json.dumps(_bid())
+        assert parse_bid_line(line, 1) == parse_bid_line(line.encode(), 1)
+
+    def test_malformed_json_carries_lineno(self):
+        with pytest.raises(ProtocolError, match="line 42") as excinfo:
+            parse_bid_line(b"{nope", 42)
+        assert excinfo.value.lineno == 42
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_bid_line(b"[1, 2, 3]", 1)
+
+    def test_missing_fields_are_named(self):
+        record = _bid()
+        del record["rate"], record["value"]
+        with pytest.raises(ProtocolError, match="rate"):
+            parse_bid_line(json.dumps(record), 5)
+
+    def test_workload_validation_becomes_protocol_error(self):
+        # end < start violates the Request invariant, not JSON syntax.
+        with pytest.raises(ProtocolError, match="line 9") as excinfo:
+            parse_bid_line(json.dumps(_bid(start=5, end=2)), 9)
+        assert excinfo.value.lineno == 9
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid bid record"):
+            parse_bid_line(json.dumps(_bid(rate="fast")), 1)
+
+    def test_window_checked_against_cycle_length(self):
+        parse_bid_line(json.dumps(_bid(end=11)), 1, num_slots=12)
+        with pytest.raises(ProtocolError, match="outside the billing cycle"):
+            parse_bid_line(json.dumps(_bid(end=12)), 1, num_slots=12)
+
+    def test_unknown_node_rejected_when_nodes_given(self):
+        line = json.dumps(_bid(source="Z"))
+        parse_bid_line(line, 1)  # no node check without the set
+        with pytest.raises(ProtocolError, match="unknown node 'Z'"):
+            parse_bid_line(line, 1, nodes={"A", "B"})
+
+
+class TestResponses:
+    def test_encode_decode_roundtrip(self):
+        message = hello_message(
+            topology="B4", slots_per_cycle=12, window=2,
+            slot_seconds=0.5, num_cycles=None,
+        )
+        line = encode_message(message)
+        assert line.endswith(b"\n") and b" " not in line.split(b'"hello"')[0]
+        assert decode_message(line) == message
+        assert message["protocol"] == PROTOCOL_VERSION
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json\n")
+        with pytest.raises(ProtocolError, match="'type'"):
+            decode_message(b'{"no_type": 1}\n')
+
+    def test_decision_message_validates_verdict(self):
+        for verdict in DECISIONS:
+            message = decision_message(
+                request_id=1, decision=verdict, path=0, cycle=0,
+                window_start=0, latency_ms=1.0,
+            )
+            assert message["decision"] == verdict
+        with pytest.raises(ValueError):
+            decision_message(
+                request_id=1, decision="maybe", path=None, cycle=0,
+                window_start=0, latency_ms=0.0,
+            )
+
+    def test_error_and_bye_shapes(self):
+        err = error_message(3, "line 3: bad")
+        assert err == {"type": "error", "line": 3, "error": "line 3: bad"}
+        bye = bye_message(submitted=10, responded=10)
+        assert bye["type"] == "bye" and bye["reason"] == "eof"

@@ -1,0 +1,120 @@
+"""WallClock tests: SimClock parity, deadlines, resume back-dating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GatewayError
+from repro.gateway.wallclock import WallClock
+from repro.service.broker import run_cycle
+from repro.service.clock import CycleClock, SimClock
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+
+class FakeTime:
+    """A manually advanced monotonic source."""
+
+    def __init__(self, value: float = 100.0) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+
+class TestStructuralParity:
+    def test_implements_cycle_clock_protocol(self):
+        clock = WallClock(12, window=3)
+        assert isinstance(clock, CycleClock)
+
+    @pytest.mark.parametrize("slots,window", [(12, 1), (12, 3), (10, 4), (5, 5)])
+    def test_tick_stream_matches_simclock(self, slots, window):
+        sim = SimClock(slots, window=window, num_cycles=3)
+        wall = WallClock(slots, window=window, num_cycles=3)
+        for cycle in range(3):
+            assert list(wall.windows(cycle)) == list(sim.windows(cycle))
+        assert wall.windows_per_cycle == sim.windows_per_cycle
+        for slot in range(slots):
+            assert wall.window_of(slot) == sim.window_of(slot)
+
+    def test_bounded_clock_enumerates_cycles(self):
+        wall = WallClock(4, num_cycles=2)
+        assert list(wall.cycles()) == [0, 1]
+        assert len(list(wall.ticks())) == 2 * 4
+
+    def test_unbounded_clock_refuses_enumeration(self):
+        with pytest.raises(GatewayError, match="unbounded"):
+            WallClock(4).cycles()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WallClock(0)
+        with pytest.raises(ValueError):
+            WallClock(4, window=0)
+        with pytest.raises(ValueError):
+            WallClock(4, num_cycles=0)
+        with pytest.raises(ValueError):
+            WallClock(4, slot_seconds=0.0)
+        with pytest.raises(ValueError):
+            WallClock(4).window_of(4)
+
+
+class TestWallTime:
+    def test_requires_start(self):
+        clock = WallClock(4)
+        assert not clock.started
+        with pytest.raises(GatewayError, match="start"):
+            clock.elapsed()
+
+    def test_deadlines_are_slot_multiples_from_epoch(self):
+        now = FakeTime(1000.0)
+        clock = WallClock(4, window=2, slot_seconds=0.5, now=now)
+        clock.start()
+        ticks = list(clock.windows(1))
+        # Cycle 1's windows end at global slots 6 and 8.
+        assert clock.deadline(ticks[0]) == pytest.approx(1000.0 + 6 * 0.5)
+        assert clock.deadline(ticks[1]) == pytest.approx(1000.0 + 8 * 0.5)
+        assert clock.remaining(clock.deadline(ticks[0])) == pytest.approx(3.0)
+        now.value = 1004.0
+        assert clock.remaining(clock.deadline(ticks[0])) == 0.0
+
+    def test_current_slot_tracks_time(self):
+        now = FakeTime(0.0)
+        clock = WallClock(4, slot_seconds=1.0, now=now)
+        clock.start()
+        assert (clock.current_cycle(), clock.slot_in_cycle()) == (0, 0)
+        now.value = 5.5
+        assert clock.current_slot() == 5
+        assert (clock.current_cycle(), clock.slot_in_cycle()) == (1, 1)
+
+    def test_resume_backdates_epoch(self):
+        now = FakeTime(50.0)
+        clock = WallClock(4, slot_seconds=1.0, now=now)
+        clock.start(cycle=3)
+        # Cycles 0-2 are entirely in the past; serving resumes at cycle 3.
+        assert clock.current_cycle() == 3
+        last_old = list(clock.windows(2))[-1]
+        assert clock.remaining(clock.deadline(last_old)) == 0.0
+        first_new = next(iter(clock.windows(3)))
+        assert clock.deadline(first_new) == pytest.approx(51.0)
+
+
+class TestRunCycleClockInjection:
+    def test_wallclock_and_simclock_decide_identically(self, sub_b4_topology):
+        """run_cycle cannot tell the clocks apart: same bids, same ledger."""
+        requests = generate_workload(
+            sub_b4_topology,
+            WorkloadConfig(num_requests=25, num_slots=6),
+            rng=11,
+        )
+        baseline = run_cycle(sub_b4_topology, requests, window=2)
+        injected = run_cycle(
+            sub_b4_topology,
+            requests,
+            clock=WallClock(6, window=2, num_cycles=1),
+        )
+        assert injected.assignment == baseline.assignment
+        assert injected.profit == pytest.approx(baseline.profit)
+        assert injected.purchased == baseline.purchased
+        assert [r.window_start for r in injected.batches] == [
+            r.window_start for r in baseline.batches
+        ]

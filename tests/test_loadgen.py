@@ -1,0 +1,176 @@
+"""Load-generator tests: arrival pacing, synthesis, end-to-end replay."""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.exceptions import GatewayError
+from repro.gateway import GatewayConfig, GatewayServer
+from repro.loadgen import (
+    BurstArrivals,
+    ConstantArrivals,
+    LoadGenerator,
+    LoadReport,
+    PoissonArrivals,
+    make_arrivals,
+    probe_gateway,
+    synthesize_bids,
+)
+
+
+class TestArrivalProcesses:
+    def test_constant_is_perfectly_paced(self):
+        gaps = list(itertools.islice(ConstantArrivals(200.0).gaps(), 10))
+        assert gaps == [pytest.approx(0.005)] * 10
+
+    def test_poisson_mean_rate_and_determinism(self):
+        process = PoissonArrivals(1000.0, seed=7)
+        gaps = list(itertools.islice(process.gaps(), 10_000))
+        assert sum(gaps) / len(gaps) == pytest.approx(1e-3, rel=0.05)
+        again = list(itertools.islice(PoissonArrivals(1000.0, seed=7).gaps(), 10_000))
+        assert gaps == again
+        different = list(
+            itertools.islice(PoissonArrivals(1000.0, seed=8).gaps(), 10_000)
+        )
+        assert gaps != different
+
+    def test_burst_preserves_the_mean_rate(self):
+        process = BurstArrivals(100.0, period=1.0, duty=0.2)
+        # One full period's worth of gaps sums to the period.
+        per_burst = 100  # rate/duty * period*duty
+        gaps = list(itertools.islice(process.gaps(), per_burst))
+        assert sum(gaps) == pytest.approx(1.0)
+        # The off-phase silence rides on the first gap only.
+        assert gaps[0] > gaps[1]
+        assert gaps[1:] == [pytest.approx(gaps[1])] * (per_burst - 1)
+
+    def test_make_arrivals_dispatch(self):
+        assert isinstance(make_arrivals("constant", 10.0), ConstantArrivals)
+        assert isinstance(make_arrivals("poisson", 10.0, seed=3), PoissonArrivals)
+        assert isinstance(make_arrivals("burst", 10.0, duty=0.5), BurstArrivals)
+        with pytest.raises(ValueError, match="process"):
+            make_arrivals("fractal", 10.0)
+
+    def test_rates_validated(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                ConstantArrivals(bad)
+        with pytest.raises(ValueError):
+            BurstArrivals(10.0, duty=0.0)
+        with pytest.raises(ValueError):
+            BurstArrivals(10.0, period=-1.0)
+
+
+class TestSynthesizeBids:
+    def test_ids_are_sequential_and_unique(self, sub_b4_topology):
+        bids = list(synthesize_bids(sub_b4_topology, num_bids=1300, chunk=512))
+        assert [b.request_id for b in bids] == list(range(1300))
+
+    def test_deterministic_in_seed(self, sub_b4_topology):
+        first = list(synthesize_bids(sub_b4_topology, num_bids=100, seed=5))
+        second = list(synthesize_bids(sub_b4_topology, num_bids=100, seed=5))
+        other = list(synthesize_bids(sub_b4_topology, num_bids=100, seed=6))
+        assert first == second
+        assert first != other
+
+    def test_respects_workload_bounds(self, sub_b4_topology):
+        nodes = set(sub_b4_topology.datacenters)
+        for bid in synthesize_bids(sub_b4_topology, num_bids=64, num_slots=6):
+            assert bid.source in nodes and bid.dest in nodes
+            assert 0 <= bid.start <= bid.end < 6
+            assert bid.rate > 0 and bid.value > 0
+
+    def test_validation(self, sub_b4_topology):
+        with pytest.raises(ValueError):
+            list(synthesize_bids(sub_b4_topology, num_bids=-1))
+        with pytest.raises(ValueError):
+            list(synthesize_bids(sub_b4_topology, num_bids=1, chunk=0))
+
+
+class TestLoadReport:
+    def test_identity_and_merge(self):
+        a = LoadReport(submitted=10, accepted=4, rejected=3, shed=2, errored=1)
+        assert a.reconciles() and a.responded == 10
+        b = LoadReport(submitted=5, accepted=2, lost=3)
+        assert b.reconciles()
+        a.merge(b)
+        assert a.submitted == 15 and a.lost == 3
+        assert a.reconciles()
+
+    def test_violation_raises(self):
+        broken = LoadReport(submitted=5, accepted=1)
+        assert not broken.reconciles()
+        with pytest.raises(GatewayError, match="submitted=5"):
+            broken.assert_reconciled()
+
+    def test_rate_and_dict(self):
+        report = LoadReport(submitted=8, accepted=8, duration_seconds=2.0)
+        assert report.decisions_per_sec == pytest.approx(4.0)
+        payload = report.to_dict()
+        assert payload["decisions_per_sec"] == pytest.approx(4.0)
+        assert "p99_ms" in payload["latency"]
+
+
+class TestLoadGeneratorLive:
+    def test_replay_against_a_live_gateway_reconciles_exactly(self):
+        async def scenario():
+            config = GatewayConfig(
+                topology="sub-b4",
+                slots_per_cycle=4,
+                slot_seconds=0.05,
+                queue_capacity=8,
+                time_limit=5.0,
+            )
+            server = GatewayServer(config)
+            await server.start()
+            host, port = server.address
+            hello = await probe_gateway(host, port)
+            topology = server.topology
+            bids = list(
+                synthesize_bids(
+                    topology,
+                    num_bids=120,
+                    num_slots=int(hello["slots_per_cycle"]),
+                    seed=3,
+                )
+            )
+            generator = LoadGenerator(
+                host, port, arrivals=ConstantArrivals(2000.0), connections=3
+            )
+            report = await generator.run(bids)
+            await server.stop()
+            return server, report
+
+        server, report = asyncio.run(scenario())
+        report.assert_reconciled()
+        assert report.submitted == 120 and report.lost == 0
+        assert report.connections == 3
+        # Client-side and server-side ledgers agree exactly.
+        counters = server.counters
+        assert report.accepted == counters.accepted
+        assert report.rejected == counters.rejected
+        assert report.shed == counters.shed
+        assert report.errored == counters.errored == 0
+        # Overdriving an 8-deep queue at 2000/s must shed something.
+        assert report.shed > 0
+        assert report.latency.total == 120
+        assert report.decisions_per_sec > 0
+
+    def test_probe_rejects_a_non_gateway(self):
+        async def scenario():
+            async def not_a_gateway(reader, writer):
+                writer.write(b'{"type": "decision"}\n')
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(not_a_gateway, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            with pytest.raises(GatewayError, match="hello"):
+                await probe_gateway(host, port)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
