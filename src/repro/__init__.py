@@ -27,8 +27,12 @@ Serving loop (see :mod:`repro.service`)::
 """
 
 from repro.core import Metis, SPMInstance
+from repro.decomp import BandwidthLedger
+from repro.gateway import GatewayConfig, GatewayServer
+from repro.loadgen import LoadGenerator
 from repro.net import Topology, b4, sub_b4
 from repro.service import Broker, BrokerConfig
+from repro.shard import ShardConfig, ShardedBroker
 from repro.workload import Request, RequestSet, WorkloadConfig, generate_workload
 
 __version__ = "1.0.0"
@@ -45,5 +49,11 @@ __all__ = [
     "SPMInstance",
     "Broker",
     "BrokerConfig",
+    "ShardConfig",
+    "ShardedBroker",
+    "BandwidthLedger",
+    "GatewayConfig",
+    "GatewayServer",
+    "LoadGenerator",
     "__version__",
 ]

@@ -115,6 +115,36 @@ class SPMInstance:
         child._fastform = self._fastform
         return child
 
+    def reprice(self, prices: np.ndarray) -> "SPMInstance":
+        """The same instance under a different price vector — zero-copy.
+
+        Shares the topology, requests, paths, edge order and per-path edge
+        arrays; only ``prices`` is replaced.  The lazily-built compilers
+        are *not* shared (both read the price vector), so the repriced
+        instance compiles fresh models against the new prices while the
+        parent's caches stay valid.
+
+        This is the decision-steering hook of the Lagrangian decomposition
+        (:mod:`repro.decomp`): shard subproblems solve against
+        ``u_e + lambda_e`` while all accounting stays on the true ``u_e``.
+        """
+        prices = np.asarray(prices, dtype=float)
+        if prices.shape != self.prices.shape:
+            raise ValueError(
+                f"prices shaped {prices.shape}, expected {self.prices.shape}"
+            )
+        child = SPMInstance.__new__(SPMInstance)
+        child.topology = self.topology
+        child.requests = self.requests
+        child.paths = self.paths
+        child.edges = self.edges
+        child.edge_index = self.edge_index
+        child.prices = prices
+        child.path_edges = self.path_edges
+        child._batch_compiler = None
+        child._fastform = None
+        return child
+
     # -------------------------------------------------------------- accessors
 
     @property

@@ -1,0 +1,291 @@
+"""The shared bandwidth ledger: demand aggregation and dual link prices.
+
+:class:`BandwidthLedger` is the only coordination point between shards.
+Per price-iteration round every shard posts its (edge, slot) demand
+matrix; the ledger folds them, measures each capped link's peak
+over-subscription, and raises that link's Lagrangian dual price by a
+projected subgradient step::
+
+    lambda_e  <-  max(0, lambda_e + step(k) * (peak_e - cap_e))
+
+Uncapped links (capacity ``None``) carry no dual — the decomposition's
+only coupling there is the concavity of integer-unit charging, which the
+profit-gap bound of :mod:`repro.decomp.solver` accounts for instead.
+
+The step schedule is pluggable (:class:`ConstantStep`,
+:class:`HarmonicStep` — the classic diminishing ``a/(k+1)`` that
+guarantees subgradient convergence, and :class:`GeometricStep`), and the
+whole ledger state round-trips through :meth:`to_record` /
+:meth:`apply_record` so the sharded broker can journal it next to the
+per-shard WALs and restore the duals bit-identically on recovery.
+
+``post`` is lock-protected: the sharded live engine posts from one event
+loop, but the pooled broker's coordinator may later go concurrent and
+the counters must stay exact either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.core.instance import SPMInstance
+
+__all__ = [
+    "StepSchedule",
+    "ConstantStep",
+    "HarmonicStep",
+    "GeometricStep",
+    "make_step_schedule",
+    "BandwidthLedger",
+]
+
+
+class StepSchedule:
+    """A subgradient step-size rule; ``step(k)`` for round ``k`` (0-based)."""
+
+    name = "abstract"
+
+    def step(self, iteration: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ConstantStep(StepSchedule):
+    """A fixed step size; fast but may orbit the optimum."""
+
+    name = "constant"
+
+    def __init__(self, step0: float) -> None:
+        if not (step0 > 0):
+            raise ValueError(f"step0 must be > 0, got {step0!r}")
+        self.step0 = float(step0)
+
+    def step(self, iteration: int) -> float:
+        return self.step0
+
+    def __repr__(self) -> str:
+        return f"ConstantStep({self.step0!r})"
+
+
+class HarmonicStep(StepSchedule):
+    """``step0 / (k + 1)`` — the diminishing, non-summable classic."""
+
+    name = "harmonic"
+
+    def __init__(self, step0: float) -> None:
+        if not (step0 > 0):
+            raise ValueError(f"step0 must be > 0, got {step0!r}")
+        self.step0 = float(step0)
+
+    def step(self, iteration: int) -> float:
+        return self.step0 / (iteration + 1)
+
+    def __repr__(self) -> str:
+        return f"HarmonicStep({self.step0!r})"
+
+
+class GeometricStep(StepSchedule):
+    """``step0 * decay**k`` — aggressive early, quickly conservative."""
+
+    name = "geometric"
+
+    def __init__(self, step0: float, decay: float = 0.5) -> None:
+        if not (step0 > 0):
+            raise ValueError(f"step0 must be > 0, got {step0!r}")
+        if not (0 < decay < 1):
+            raise ValueError(f"decay must be in (0, 1), got {decay!r}")
+        self.step0 = float(step0)
+        self.decay = float(decay)
+
+    def step(self, iteration: int) -> float:
+        return self.step0 * self.decay**iteration
+
+    def __repr__(self) -> str:
+        return f"GeometricStep({self.step0!r}, decay={self.decay!r})"
+
+
+def make_step_schedule(
+    name: str, step0: float, *, decay: float = 0.5
+) -> StepSchedule:
+    """Build a schedule by name (``constant`` / ``harmonic`` / ``geometric``)."""
+    schedules = {
+        "constant": lambda: ConstantStep(step0),
+        "harmonic": lambda: HarmonicStep(step0),
+        "geometric": lambda: GeometricStep(step0, decay=decay),
+    }
+    try:
+        return schedules[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown step schedule {name!r}; "
+            f"choose from {sorted(schedules)}"
+        ) from None
+
+
+class BandwidthLedger:
+    """Shared per-link demand aggregation and dual-price state."""
+
+    def __init__(
+        self,
+        edges: list,
+        prices: np.ndarray,
+        capacities: np.ndarray,
+        num_slots: int,
+        *,
+        schedule: StepSchedule | None = None,
+    ) -> None:
+        self.edges = list(edges)
+        self.prices = np.asarray(prices, dtype=float)
+        #: Per-edge ceilings; ``inf`` where the topology is uncapped.
+        self.capacities = np.asarray(capacities, dtype=float)
+        self.num_slots = int(num_slots)
+        if self.prices.size != len(self.edges):
+            raise ValueError("prices must align with edges")
+        if self.capacities.size != len(self.edges):
+            raise ValueError("capacities must align with edges")
+        if schedule is None:
+            # Default: harmonic, scaled to the mean link price — one round
+            # moves a unit violation by about one price unit.
+            mean_price = float(self.prices.mean()) if self.prices.size else 1.0
+            schedule = HarmonicStep(max(mean_price, 1e-12))
+        self.schedule = schedule
+        self.duals = np.zeros(len(self.edges))
+        self.demand = np.zeros((len(self.edges), self.num_slots))
+        #: Dual-price updates performed (the subgradient iteration count).
+        self.price_iterations = 0
+        #: Shard demand matrices folded in (across all rounds).
+        self.posts = 0
+        #: Acceptances revoked by feasibility reconciliation.
+        self.evictions = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_instance(
+        cls, instance: SPMInstance, *, schedule: StepSchedule | None = None
+    ) -> "BandwidthLedger":
+        """A ledger over an instance's edges, prices and topology ceilings."""
+        capacities = np.array(
+            [
+                float("inf") if ceiling is None else float(ceiling)
+                for ceiling in (
+                    instance.topology.capacity(*key) for key in instance.edges
+                )
+            ]
+        )
+        return cls(
+            instance.edges,
+            instance.prices,
+            capacities,
+            instance.num_slots,
+            schedule=schedule,
+        )
+
+    # ------------------------------------------------------------- rounds
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def capped(self) -> bool:
+        """Does any link carry a finite ceiling (and hence a dual)?"""
+        return bool(np.isfinite(self.capacities).any())
+
+    def effective_prices(self) -> np.ndarray:
+        """The shard decision prices: true ``u_e`` plus dual ``lambda_e``."""
+        return self.prices + self.duals
+
+    def begin_round(self) -> None:
+        """Zero the demand aggregation for a fresh posting round."""
+        with self._lock:
+            self.demand[:] = 0.0
+
+    def post(self, shard_id: int, loads: np.ndarray) -> None:
+        """Fold one shard's (edge, slot) demand into the round's total."""
+        loads = np.asarray(loads, dtype=float)
+        if loads.shape != self.demand.shape:
+            raise ValueError(
+                f"loads shaped {loads.shape}, expected {self.demand.shape}"
+            )
+        with self._lock:
+            self.demand += loads
+            self.posts += 1
+
+    def violation(self) -> np.ndarray:
+        """Per-edge peak over-subscription (0 where uncapped or feasible)."""
+        peaks = self.demand.max(axis=1)
+        over = peaks - self.capacities
+        return np.where(np.isfinite(self.capacities), np.maximum(over, 0.0), 0.0)
+
+    def update_prices(self) -> float:
+        """One projected-subgradient dual update; returns the max violation.
+
+        The subgradient is the *signed* slack ``peak_e - cap_e`` (zero on
+        uncapped edges): oversubscribed links get pricier, slack links
+        relax back toward zero, and the projection keeps every dual
+        non-negative.
+        """
+        violation = self.violation()
+        worst = float(violation.max()) if violation.size else 0.0
+        peaks = self.demand.max(axis=1) if self.demand.size else np.zeros(0)
+        subgradient = np.where(
+            np.isfinite(self.capacities), peaks - self.capacities, 0.0
+        )
+        step = self.schedule.step(self.price_iterations)
+        with self._lock:
+            self.duals = np.maximum(0.0, self.duals + step * subgradient)
+            self.price_iterations += 1
+        return worst
+
+    def record_evictions(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        with self._lock:
+            self.evictions += count
+
+    # ---------------------------------------------------------- journaling
+
+    def counters(self) -> dict[str, Any]:
+        """The observability block shard telemetry embeds."""
+        return {
+            "price_iterations": self.price_iterations,
+            "posts": self.posts,
+            "evictions": self.evictions,
+            "active_duals": int(np.count_nonzero(self.duals)),
+            "max_dual": float(self.duals.max()) if self.duals.size else 0.0,
+        }
+
+    def to_record(self) -> dict[str, Any]:
+        """The journal payload restoring this ledger bit-identically."""
+        return {
+            "duals": self.duals.tolist(),
+            "price_iterations": self.price_iterations,
+            "posts": self.posts,
+            "evictions": self.evictions,
+        }
+
+    def apply_record(self, record: dict[str, Any]) -> None:
+        """Restore dual prices and counters from :meth:`to_record` output."""
+        duals = np.asarray(record["duals"], dtype=float)
+        if duals.size != self.num_edges:
+            raise ValueError(
+                f"ledger record has {duals.size} duals, "
+                f"expected {self.num_edges}"
+            )
+        with self._lock:
+            self.duals = duals
+            self.price_iterations = int(record["price_iterations"])
+            self.posts = int(record["posts"])
+            self.evictions = int(record["evictions"])
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthLedger(edges={self.num_edges}, "
+            f"iterations={self.price_iterations}, "
+            f"evictions={self.evictions})"
+        )

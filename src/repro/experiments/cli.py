@@ -262,6 +262,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=2019, help="master seed")
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "shard the broker across N price-coordinated workers "
+            "(see repro.shard; 1 = the monolithic broker)"
+        ),
+    )
+    parser.add_argument(
+        "--partition",
+        choices=("hash", "region"),
+        default="hash",
+        help="request-to-shard rule: source-DC hash or region affinity",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -365,10 +381,12 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and not args.wal:
         parser.error("--resume requires --wal")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
     if args.listen is not None:
         return _run_serve_live(parser, args)
     try:
-        config = BrokerConfig(
+        fields = dict(
             topology=args.topology,
             num_cycles=1 if args.cycles is None else args.cycles,
             slots_per_cycle=args.duration,
@@ -384,10 +402,21 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
             snapshot_every=args.snapshot_every,
             fsync=args.fsync,
         )
+        if args.shards > 1:
+            from repro.shard import ShardConfig, ShardedBroker
+
+            config = ShardConfig(
+                **fields, shards=args.shards, partition=args.partition
+            )
+        else:
+            config = BrokerConfig(**fields)
         source = TraceSource(args.trace) if args.trace else None
     except (ValueError, OSError, WorkloadError) as exc:
         parser.error(str(exc))
-    broker = Broker(config, source=source)
+    if args.shards > 1:
+        broker = ShardedBroker(config, source=source)
+    else:
+        broker = Broker(config, source=source)
     # A first SIGINT/SIGTERM stops at the next cycle boundary — the WAL
     # commit + snapshot there make the exit durable — and still exits 0
     # with the partial report; a second signal forces exit 130.
@@ -437,6 +466,12 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
         f"solver time {summary['solver_seconds']:.2f}s "
         f"of {summary['wall_seconds']:.2f}s wall"
     )
+    if args.shards > 1:
+        print(
+            f"shards {summary['num_shards']} ({args.partition}): "
+            f"{summary['ledger_price_iterations']} price iteration(s), "
+            f"{summary['reconciliation_evictions']} eviction(s)"
+        )
     if args.wal:
         line = (
             f"wal {args.wal}: {summary['wal_bytes']} bytes "
@@ -481,6 +516,8 @@ def _run_serve_live(parser: argparse.ArgumentParser, args: argparse.Namespace) -
             snapshot_every=args.snapshot_every,
             fsync=args.fsync,
             resume=args.resume,
+            shards=args.shards,
+            partition=args.partition,
             **overrides,
         )
     except ValueError as exc:

@@ -20,6 +20,7 @@ durability layer journal gateway cycles through the exact same
 
 from __future__ import annotations
 
+import hashlib
 import time
 
 import numpy as np
@@ -69,6 +70,12 @@ class LiveCycleEngine:
 
         self.edges = [e.key for e in topology.edges]
         self.prices = np.array([topology.price(*key) for key in self.edges])
+        #: Optional per-edge dual surcharge: when set (by the sharded
+        #: gateway's bandwidth ledger), decisions are solved against the
+        #: effective prices ``prices + dual_prices`` while revenue, cost
+        #: and the charged ledger stay on the true prices — the same
+        #: steering contract as ``run_cycle(dual_prices=...)``.
+        self.dual_prices: np.ndarray | None = None
         #: (source, dest) -> candidate paths, shared across every batch
         #: instance this engine ever builds.
         self._path_cache: dict[tuple, list] = {}
@@ -145,6 +152,16 @@ class LiveCycleEngine:
                         f"cycle {self.cycle}"
                     )
             instance = self._batch_instance(chunk)
+            decision_instance = instance
+            dual_digest = b""
+            if self.dual_prices is not None and np.any(self.dual_prices):
+                decision_instance = instance.reprice(
+                    instance.prices + self.dual_prices
+                )
+                dual_digest = hashlib.blake2b(
+                    np.ascontiguousarray(self.dual_prices).tobytes(),
+                    digest_size=16,
+                ).digest()
             solver_start = time.perf_counter()
             decision = None
             hit = False
@@ -155,12 +172,14 @@ class LiveCycleEngine:
                 key = self.cache.make_key(
                     instance, chunk_ids, self.committed, self.charged
                 )
+                if dual_digest:
+                    key = (key[0] + dual_digest, key[1])
                 decision = self.cache.get(key)
                 hit = decision is not None
             if decision is None:
                 try:
                     outcome = solve_batch(
-                        instance,
+                        decision_instance,
                         chunk_ids,
                         self.committed,
                         self.charged,

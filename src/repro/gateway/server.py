@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.decomp.partition import PARTITION_MODES
 from repro.exceptions import GatewayError, ProtocolError
 from repro.gateway.backpressure import GatewayCounters, PendingBid, ResponseChannel
 from repro.gateway.engine import LiveCycleEngine
@@ -109,6 +110,11 @@ class GatewayConfig:
     snapshot_every: int = 1
     fsync: str = "batch"
     resume: bool = False
+    # Sharded serving: shards > 1 swaps the single LiveCycleEngine for a
+    # ShardedLiveEngine (repro.shard.live) — per-source-DC sub-engines
+    # coordinated through a shared bandwidth ledger.
+    shards: int = 1
+    partition: str = "hash"
 
     def __post_init__(self) -> None:
         if self.slots_per_cycle < 1:
@@ -145,6 +151,13 @@ class GatewayConfig:
             )
         if self.resume and self.wal_path is None:
             raise ValueError("resume=True requires wal_path")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.partition not in PARTITION_MODES:
+            raise ValueError(
+                f"partition must be one of {PARTITION_MODES}, "
+                f"got {self.partition!r}"
+            )
 
     def broker_config(self) -> BrokerConfig:
         """The decision-equivalent :class:`BrokerConfig` surrogate.
@@ -275,6 +288,16 @@ class GatewayServer:
         recovered: list = []
         if config.wal_path is not None:
             fingerprint = config_fingerprint(config.broker_config())
+            if config.shards > 1:
+                # Sharding changes decisions (partitioned MILPs), so the
+                # WAL refuses to splice runs with different shard setups.
+                # Imported here: repro.shard pulls in this module's
+                # package via the live engine.
+                from repro.shard.recovery import shard_fingerprint
+
+                fingerprint = shard_fingerprint(
+                    fingerprint, config.shards, config.partition, "live"
+                )
             wal_path = Path(config.wal_path)
             if config.resume:
                 state = recover(wal_path, fingerprint=fingerprint)
@@ -314,16 +337,32 @@ class GatewayServer:
         cache = (
             DecisionCache(config.cache_size) if config.cache_size > 0 else None
         )
-        self._engine = LiveCycleEngine(
-            self.topology,
-            config.slots_per_cycle,
-            k_paths=config.k_paths,
-            time_limit=config.time_limit,
-            cache=cache,
-            max_batch=config.max_batch,
-            fast_path=config.fast_path,
-            on_batch=self._on_batch,
-        )
+        if config.shards > 1:
+            from repro.shard.live import ShardedLiveEngine
+
+            self._engine = ShardedLiveEngine(
+                self.topology,
+                config.slots_per_cycle,
+                shards=config.shards,
+                partition=config.partition,
+                k_paths=config.k_paths,
+                time_limit=config.time_limit,
+                cache=cache,
+                max_batch=config.max_batch,
+                fast_path=config.fast_path,
+                on_batch=self._on_batch,
+            )
+        else:
+            self._engine = LiveCycleEngine(
+                self.topology,
+                config.slots_per_cycle,
+                k_paths=config.k_paths,
+                time_limit=config.time_limit,
+                cache=cache,
+                max_batch=config.max_batch,
+                fast_path=config.fast_path,
+                on_batch=self._on_batch,
+            )
         if next_cycle > 0:
             self._engine.start_cycle(next_cycle)
 
@@ -469,6 +508,13 @@ class GatewayServer:
             self._writer.commit_cycle(result)
         self.cycles.append(result)
         self.telemetry.record_cycle(result.cycle, result.profit)
+        shard_counters = getattr(self._engine, "shard_counters", None)
+        if shard_counters is not None:
+            for shard_id, counters in shard_counters().items():
+                self.telemetry.record_shard(shard_id, counters)
+            self.telemetry.ledger_price_iterations = (
+                self._engine.ledger.price_iterations
+            )
 
     async def _shutdown(self) -> None:
         """Tear down: close the listener, flush the WAL, say goodbye."""

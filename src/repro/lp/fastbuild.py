@@ -31,7 +31,7 @@ from scipy import sparse
 from repro.exceptions import ModelError
 from repro.lp.model import CompiledModel
 
-__all__ = ["compile_coo", "with_row_upper"]
+__all__ = ["compile_coo", "with_objective", "with_row_upper"]
 
 
 def with_row_upper(
@@ -51,6 +51,27 @@ def with_row_upper(
             f"expected {compiled.row_upper.size}"
         )
     return replace(compiled, row_upper=row_upper)
+
+
+def with_objective(
+    compiled: CompiledModel, objective: np.ndarray
+) -> CompiledModel:
+    """``compiled`` with a new objective vector, sharing everything else.
+
+    ``objective`` is given in the model's *original* sense; the stored
+    ``c`` keeps the compiled model's existing maximization sign.  The
+    sparse matrix and all bound arrays alias the input — this is the
+    cheap between-rounds update for formulations whose varying state
+    enters solely through objective coefficients (the Lagrangian price
+    iteration of :mod:`repro.decomp` re-solves each shard's SPM under
+    shifted link prices).
+    """
+    objective = np.asarray(objective, dtype=float)
+    if objective.size != compiled.c.size:
+        raise ModelError(
+            f"objective sized {objective.size}, expected {compiled.c.size}"
+        )
+    return replace(compiled, c=compiled.sign * objective)
 
 
 def compile_coo(

@@ -30,6 +30,7 @@ future performance work measures against.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -210,6 +211,8 @@ def run_cycle(
     fast_path: bool = True,
     on_batch=None,
     clock=None,
+    instance: SPMInstance | None = None,
+    dual_prices: np.ndarray | None = None,
 ) -> CycleResult:
     """Serve one billing cycle end to end; the broker's core loop.
 
@@ -232,9 +235,30 @@ def run_cycle(
     the moment its decision is committed — the write-ahead hook the
     durability layer uses to journal decisions as they are made rather
     than at cycle end.
+
+    ``instance`` (when given) must be the prebuilt
+    :class:`SPMInstance` over exactly ``topology``/``requests`` — callers
+    that need the instance afterwards (the sharded broker posts its loads
+    to the bandwidth ledger) pass it in to avoid a second path
+    enumeration.  ``dual_prices`` steers the *decisions* only: batch
+    MILPs solve against ``u_e + dual_prices`` (a zero-copy
+    :meth:`~SPMInstance.reprice` view) while every ledger figure —
+    revenue, cost, profit, purchased units — stays on the true prices.
+    Cache keys fold a digest of the duals, so decisions made under
+    different prices never alias.
     """
     t0 = time.perf_counter()
-    instance = SPMInstance.build(topology, requests, k_paths=k_paths)
+    if instance is None:
+        instance = SPMInstance.build(topology, requests, k_paths=k_paths)
+    decision_instance = instance
+    dual_digest = b""
+    if dual_prices is not None:
+        dual_prices = np.asarray(dual_prices, dtype=float)
+        if np.any(dual_prices):
+            decision_instance = instance.reprice(instance.prices + dual_prices)
+            dual_digest = hashlib.blake2b(
+                np.ascontiguousarray(dual_prices).tobytes(), digest_size=16
+            ).digest()
     if clock is None:
         clock = SimClock(requests.num_slots, window=window)
     committed = np.zeros((instance.num_edges, instance.num_slots))
@@ -268,12 +292,14 @@ def run_cycle(
             key = None
             if cache is not None:
                 key = cache.make_key(instance, batch_ids, committed, charged)
+                if dual_digest:
+                    key = (key[0] + dual_digest, key[1])
                 decision = cache.get(key)
                 hit = decision is not None
             if decision is None:
                 try:
                     outcome = solve_batch(
-                        instance,
+                        decision_instance,
                         batch_ids,
                         committed,
                         charged,

@@ -144,6 +144,21 @@ class LatencyHistogram:
         }
 
     @classmethod
+    def merged(
+        cls, histograms: "list[LatencyHistogram]", **kwargs
+    ) -> "LatencyHistogram":
+        """One histogram folding every input (all same geometry).
+
+        The aggregation convenience shared by the multi-connection load
+        generator and the sharded broker's per-shard latency roll-up:
+        ``merged([])`` is an empty histogram with the given geometry.
+        """
+        result = cls(**kwargs)
+        for histogram in histograms:
+            result.merge(histogram)
+        return result
+
+    @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "LatencyHistogram":
         hist = cls(
             min_seconds=data["min_seconds"],
@@ -207,9 +222,28 @@ class TelemetryCollector:
     wal_bytes: int = 0
     snapshot_seconds: float = 0.0
     worker_restarts: int = 0
+    #: Sharded-serving counters (see :mod:`repro.shard`): per-shard
+    #: sections keyed by shard id, plus the run totals of the bandwidth
+    #: ledger's dual-price iterations and reconciliation evictions.
+    shards: dict[int, dict[str, Any]] = field(default_factory=dict)
+    ledger_price_iterations: int = 0
+    reconciliation_evictions: int = 0
 
     def record_batch(self, record: BatchRecord) -> None:
         self.batches.append(record)
+
+    def record_shard(self, shard_id: int, counters: dict[str, Any]) -> None:
+        """Book (or accumulate into) one shard's counter section.
+
+        Numeric values accumulate across calls so per-cycle shard ledgers
+        fold into run totals; non-numeric values overwrite.
+        """
+        section = self.shards.setdefault(int(shard_id), {})
+        for key, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                section[key] = value
+            else:
+                section[key] = section.get(key, 0) + value
 
     def record_cycle(self, cycle: int, profit: float) -> None:
         """Book one finished cycle's final profit.
@@ -292,6 +326,9 @@ class TelemetryCollector:
             "wal_bytes": self.wal_bytes,
             "snapshot_seconds": self.snapshot_seconds,
             "worker_restarts": self.worker_restarts,
+            "num_shards": len(self.shards),
+            "ledger_price_iterations": self.ledger_price_iterations,
+            "reconciliation_evictions": self.reconciliation_evictions,
         }
 
     def dump_json(self, path: str | Path) -> None:
@@ -307,6 +344,11 @@ class TelemetryCollector:
             "summary": self.summary(),
             "batches": [asdict(record) for record in self.batches],
         }
+        if self.shards:
+            payload["shards"] = {
+                str(shard_id): dict(self.shards[shard_id])
+                for shard_id in sorted(self.shards)
+            }
         parent = path.parent if str(path.parent) else Path(".")
         fd, tmp_name = tempfile.mkstemp(
             dir=parent, prefix=path.name + ".", suffix=".tmp"

@@ -1,0 +1,41 @@
+"""repro.shard — the sharded multi-region broker.
+
+The serving-layer face of :mod:`repro.decomp`: billing cycles are split
+across N shard workers by source DC, each shard runs the unchanged
+admission loop (in parallel processes with ``workers >= 2``), and a
+shared :class:`~repro.decomp.ledger.BandwidthLedger` coordinates the
+fleet through Lagrangian link prices.  Durability extends the §6 stack
+journal-for-journal: one WAL per shard plus a ledger journal, with
+fleet-wide bit-identical crash recovery (:mod:`repro.shard.recovery`).
+
+Wired into the CLI as ``repro serve --shards N`` (both the classic
+simulated-clock mode and the ``--listen`` live gateway).
+"""
+
+from repro.shard.broker import (
+    ShardConfig,
+    ShardedBroker,
+    ShardedCycle,
+    ShardedReport,
+)
+from repro.shard.live import ShardedLiveEngine
+from repro.shard.recovery import (
+    RecoveredShardState,
+    ledger_wal_path,
+    recover_sharded,
+    shard_fingerprint,
+    shard_wal_path,
+)
+
+__all__ = [
+    "ShardConfig",
+    "ShardedBroker",
+    "ShardedCycle",
+    "ShardedReport",
+    "ShardedLiveEngine",
+    "RecoveredShardState",
+    "recover_sharded",
+    "shard_fingerprint",
+    "shard_wal_path",
+    "ledger_wal_path",
+]

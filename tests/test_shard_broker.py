@@ -1,0 +1,225 @@
+"""The sharded broker: equivalence, coordination, and fleet-wide recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RecoveryError
+from repro.net.topologies import b4
+from repro.service import Broker, BrokerConfig
+from repro.shard import (
+    ShardConfig,
+    ShardedBroker,
+    ledger_wal_path,
+    recover_sharded,
+    shard_fingerprint,
+    shard_wal_path,
+)
+from repro.state import FaultPlan, SimulatedCrash, config_fingerprint
+from repro.state.faults import corrupt_tail, truncate_tail
+
+_TOL = 1e-9
+
+_BASE = dict(
+    topology="sub-b4",
+    num_cycles=2,
+    slots_per_cycle=6,
+    requests_per_cycle=18,
+    seed=2019,
+    time_limit=240.0,
+)
+
+
+def _run(tmp_path=None, *, resume=False, faults=None, **overrides):
+    fields = {**_BASE, "shards": 2, **overrides}
+    if tmp_path is not None:
+        fields["wal_path"] = tmp_path / "fleet.wal"
+    broker = ShardedBroker(ShardConfig(**fields), faults=faults)
+    return broker.run(resume=resume)
+
+
+class TestEquivalence:
+    def test_single_shard_matches_the_monolithic_broker(self):
+        mono = Broker(BrokerConfig(**_BASE)).run()
+        sharded = _run(shards=1)
+        assert sharded.decision_log() == mono.decision_log()
+        assert sharded.profit == pytest.approx(mono.profit)
+
+    def test_serial_runs_are_deterministic(self):
+        first = _run()
+        second = _run()
+        assert first.decision_log() == second.decision_log()
+        assert first.profit == second.profit
+        assert first.purchases() == second.purchases()
+
+    def test_pool_matches_serial(self):
+        serial = _run()
+        pooled = _run(workers=2)
+        assert pooled.decision_log() == serial.decision_log()
+        assert pooled.profit == serial.profit
+        assert pooled.purchases() == serial.purchases()
+
+    def test_partition_modes_both_cover_every_request(self):
+        for partition in ("hash", "region"):
+            report = _run(partition=partition, shards=3)
+            for cycle in report.cycles:
+                assert len(cycle.assignment()) == cycle.num_requests
+                assert len(cycle.shard_results) == 3
+
+
+class TestCoordination:
+    def test_capped_run_is_slot_feasible_and_exercises_duals(self):
+        # A deterministic bottleneck: every bid crosses the star's
+        # (hub, DC1) link of capacity 1.  Each shard respects the cap
+        # *locally*, so three shards can jointly oversubscribe it 3x —
+        # exactly what the ledger's duals and the reconciliation eviction
+        # must resolve.
+        from repro.core.instance import SPMInstance
+        from repro.net.topologies import star_topology
+        from repro.service.ingest import TraceSource
+        from repro.workload.request import Request, RequestSet
+
+        topo = star_topology(6)
+        topo.set_uniform_capacity(1)
+        slots = 4
+        trace = RequestSet(
+            [
+                Request(rid, f"DC{2 + (rid % 5)}", "DC1", 0, slots - 1,
+                        1.0, 40.0 + rid)
+                for rid in range(9)
+            ],
+            slots,
+        )
+        config = ShardConfig(
+            **{**_BASE, "slots_per_cycle": slots, "requests_per_cycle": 9},
+            shards=3,
+        )
+        broker = ShardedBroker(config, source=TraceSource(trace))
+        broker.topology = topo
+        report = broker.run()
+        summary = report.summary()
+        assert summary["reconciliation_evictions"] > 0
+        assert summary["ledger_price_iterations"] > 0
+        # Every committed cycle is feasible per (edge, slot) after the
+        # eviction pass, replayed onto a fresh instance.
+        instance = SPMInstance.build(topo, trace, k_paths=config.k_paths)
+        for cycle in report.cycles:
+            merged = cycle.assignment()
+            loads = instance.loads(merged)
+            assert float(loads.max(initial=0.0)) <= 1.0 + _TOL
+            assert cycle.max_violation > 0 or not cycle.evicted
+            for rid in cycle.evicted:
+                assert merged[rid] is None
+        # The second cycle solves against raised duals carried over from
+        # the first, so the fleet over-admits less (or no more) over time.
+        assert len(report.cycles[1].evicted) <= len(report.cycles[0].evicted)
+
+    def test_telemetry_reports_per_shard_sections(self, tmp_path):
+        report = _run(shards=2)
+        summary = report.summary()
+        assert summary["num_shards"] == 2
+        path = tmp_path / "telemetry.json"
+        report.dump_telemetry(path)
+        import json
+
+        payload = json.loads(path.read_text())
+        assert set(payload["shards"]) == {"0", "1"}
+        total = sum(
+            section["decisions"] for section in payload["shards"].values()
+        )
+        assert total == summary["decisions"]
+
+
+class TestFleetRecovery:
+    def _baseline(self):
+        return _run()
+
+    def test_wal_layout(self, tmp_path):
+        _run(tmp_path)
+        base = tmp_path / "fleet.wal"
+        assert shard_wal_path(base, 0).exists()
+        assert shard_wal_path(base, 1).exists()
+        assert ledger_wal_path(base).exists()
+
+    def test_crash_resume_equals_uninterrupted(self, tmp_path):
+        baseline = self._baseline()
+        # A sharded cycle is 3 commits (2 shards + ledger); crashing at
+        # the 4th lands mid-way through cycle 1 with cycle 0 fully
+        # trusted, so the resume actually recovers a prefix.
+        with pytest.raises(SimulatedCrash):
+            _run(tmp_path, faults=FaultPlan(crash_after_cycles=4))
+        resumed = _run(tmp_path, resume=True)
+        assert resumed.decision_log() == baseline.decision_log()
+        assert resumed.profit == baseline.profit
+        assert resumed.purchases() == baseline.purchases()
+        assert resumed.telemetry.recovered_batches > 0
+
+    @pytest.mark.parametrize("torn_bytes", [1, 7])
+    def test_torn_shard_wal_tail(self, tmp_path, torn_bytes):
+        baseline = self._baseline()
+        with pytest.raises(SimulatedCrash):
+            _run(tmp_path, faults=FaultPlan(crash_after_cycles=1))
+        truncate_tail(shard_wal_path(tmp_path / "fleet.wal", 1), torn_bytes)
+        resumed = _run(tmp_path, resume=True)
+        assert resumed.decision_log() == baseline.decision_log()
+        assert resumed.profit == baseline.profit
+
+    def test_corrupt_ledger_tail(self, tmp_path):
+        baseline = self._baseline()
+        with pytest.raises(SimulatedCrash):
+            _run(tmp_path, faults=FaultPlan(crash_after_cycles=1))
+        corrupt_tail(ledger_wal_path(tmp_path / "fleet.wal"), 8)
+        resumed = _run(tmp_path, resume=True)
+        assert resumed.decision_log() == baseline.decision_log()
+        assert resumed.profit == baseline.profit
+
+    def test_recovery_takes_the_minimum_committed_prefix(self, tmp_path):
+        base_fingerprint = config_fingerprint(
+            ShardConfig(**_BASE, shards=2, wal_path=tmp_path / "fleet.wal")
+        )
+
+        def recovered():
+            return recover_sharded(
+                tmp_path / "fleet.wal",
+                base_fingerprint=base_fingerprint,
+                num_shards=2,
+                mode="hash",
+            )
+
+        # A crash right after the FIRST journal's cycle commit leaves
+        # shard 0 a cycle ahead of shard 1 and the ledger: the fleet
+        # trusts only the minimum, i.e. nothing yet.
+        with pytest.raises(SimulatedCrash):
+            _run(tmp_path, faults=FaultPlan(crash_after_cycles=1))
+        state = recovered()
+        assert state.next_cycle == 0
+        assert state.duals is None
+        assert len(state.shard_cycles[0]) == 1  # ahead, but untrusted
+
+        # A clean run commits everything; then deleting one shard journal
+        # drags the fleet's trusted prefix back to zero.
+        for path in tmp_path.glob("fleet.wal*"):
+            path.unlink()
+        _run(tmp_path)
+        state = recovered()
+        assert state.next_cycle == 2
+        assert state.duals is not None
+        shard_wal_path(tmp_path / "fleet.wal", 0).unlink()
+        assert recovered().next_cycle == 0
+
+    def test_resume_under_different_sharding_refuses(self, tmp_path):
+        _run(tmp_path)
+        with pytest.raises(RecoveryError):
+            _run(tmp_path, resume=True, shards=3)
+
+    def test_shard_fingerprints_are_distinct(self):
+        base = "abc123"
+        prints = {
+            shard_fingerprint(base, 2, "hash", 0),
+            shard_fingerprint(base, 2, "hash", 1),
+            shard_fingerprint(base, 2, "hash", "ledger"),
+            shard_fingerprint(base, 3, "hash", 0),
+            shard_fingerprint(base, 2, "region", 0),
+        }
+        assert len(prints) == 5
