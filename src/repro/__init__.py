@@ -28,9 +28,17 @@ Serving loop (see :mod:`repro.service`)::
 
 from repro.core import Metis, SPMInstance
 from repro.decomp import BandwidthLedger
+from repro.exceptions import SolverTimeoutError
 from repro.gateway import GatewayConfig, GatewayServer
 from repro.loadgen import LoadGenerator
 from repro.net import Topology, b4, sub_b4
+from repro.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    CycleBudget,
+    DegradationLadder,
+    greedy_admission,
+)
 from repro.service import Broker, BrokerConfig
 from repro.shard import ShardConfig, ShardedBroker
 from repro.workload import Request, RequestSet, WorkloadConfig, generate_workload
@@ -55,5 +63,11 @@ __all__ = [
     "GatewayConfig",
     "GatewayServer",
     "LoadGenerator",
+    "CycleBudget",
+    "CircuitBreaker",
+    "BreakerOpen",
+    "DegradationLadder",
+    "greedy_admission",
+    "SolverTimeoutError",
     "__version__",
 ]

@@ -54,6 +54,8 @@ from repro.decomp.partition import PARTITION_MODES, partition_requests
 from repro.exceptions import SolverError
 from repro.lp.fastbuild import with_objective
 from repro.lp.solvers import solve_compiled_raw
+from repro.resilience.budget import CycleBudget
+from repro.resilience.ladder import greedy_admission
 
 __all__ = [
     "DecompConfig",
@@ -188,6 +190,25 @@ class _ShardProblem:
         self.assignment = _choices(self.formulation, raw.x)
         return self.assignment
 
+    def fallback(self, effective_prices: np.ndarray) -> dict[int, int | None]:
+        """Greedy value-density decision under the effective prices.
+
+        The budget-starved rung of the decomposition: no solver, so it
+        always fits whatever deadline is left.  May oversubscribe capped
+        links like any relaxed round decision — the reconciliation pass
+        restores feasibility either way.
+        """
+        ids = list(self.instance.requests.request_ids)
+        priced = self.instance.reprice(effective_prices)
+        choices = greedy_admission(
+            priced,
+            ids,
+            np.zeros((priced.num_edges, priced.num_slots)),
+            np.zeros(priced.num_edges),
+        )
+        self.assignment = dict(zip(ids, choices))
+        return self.assignment
+
     def outcome(self) -> ShardOutcome:
         schedule = Schedule(self.instance, self.assignment)
         return ShardOutcome(
@@ -244,6 +265,7 @@ def solve_decomposed(
     config: DecompConfig | None = None,
     *,
     ledger: BandwidthLedger | None = None,
+    budget: "CycleBudget | None" = None,
 ) -> DecompOutcome:
     """Solve ``instance`` by sharded Lagrangian price iteration.
 
@@ -252,6 +274,13 @@ def solve_decomposed(
     ledger is built from the instance under ``config``'s step schedule.
     The returned outcome's schedule is always feasible for the
     topology's link ceilings.
+
+    ``budget`` (a :class:`~repro.resilience.budget.CycleBudget`) makes
+    the price iteration deadline-aware: each round's shard solves share
+    a shrinking slice of the remaining budget (split across the shards
+    still to solve this round, clipped to ``config.time_limit``), and an
+    expired budget ends the rounds loop early — the current incumbent
+    assignments are reconciled and returned instead of iterating on.
     """
     config = config or DecompConfig()
     if ledger is None:
@@ -267,22 +296,41 @@ def solve_decomposed(
 
     rounds = 0
     max_violation = 0.0
+    deadline_hit = False
     while True:
         effective = ledger.effective_prices()
         ledger.begin_round()
-        for problem in problems:
-            assignment = problem.solve(
-                effective, time_limit=config.time_limit
-            )
+        for position, problem in enumerate(problems):
+            if budget is not None and not budget.affords_solver(
+                shares=len(problems) - position
+            ):
+                # Starved mid-round: keep the shard's incumbent from the
+                # previous round, or fall back to greedy if it has none.
+                deadline_hit = True
+                if not problem.assignment:
+                    problem.fallback(effective)
+                assignment = problem.assignment
+            else:
+                limit = config.time_limit
+                if budget is not None:
+                    limit = budget.solve_limit(
+                        shares=len(problems) - position, cap=config.time_limit
+                    )
+                assignment = problem.solve(effective, time_limit=limit)
             ledger.post(problem.shard_id, problem.instance.loads(assignment))
         rounds += 1
         max_violation = (
             float(ledger.violation().max()) if ledger.num_edges else 0.0
         )
+        if budget is not None and not budget.affords_solver(
+            shares=max(len(problems), 1)
+        ):
+            deadline_hit = True
         if (
             max_violation <= config.tolerance
             or rounds >= config.max_rounds
             or not ledger.capped
+            or deadline_hit
         ):
             break
         ledger.update_prices()

@@ -310,6 +310,34 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="seconds per batch MILP solve (default 60; 1 with --listen)",
     )
     parser.add_argument(
+        "--cycle-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock deadline per billing cycle; solves get shrinking "
+            "slices of it and degrade down the resilience ladder "
+            "(exact > incumbent > lp_round > greedy) when it runs short"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "open a circuit breaker after N consecutive solver failures "
+            "(0 disables; degraded rungs answer while it is open)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds an open breaker waits before a half-open probe",
+    )
+    parser.add_argument(
         "--telemetry",
         type=str,
         default=None,
@@ -376,6 +404,7 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
     """The ``serve`` subcommand: run the broker and print its report."""
     from repro.exceptions import StateError, WorkloadError
     from repro.service import Broker, BrokerConfig, TraceSource
+    from repro.service.broker import DEFAULT_TIME_LIMIT
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
@@ -397,10 +426,15 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
             cache_size=args.cache_size,
             max_batch=args.max_batch,
             queue_capacity=args.queue_capacity,
-            time_limit=60.0 if args.time_limit is None else args.time_limit,
+            time_limit=(
+                DEFAULT_TIME_LIMIT if args.time_limit is None else args.time_limit
+            ),
             wal_path=args.wal,
             snapshot_every=args.snapshot_every,
             fsync=args.fsync,
+            cycle_budget=args.cycle_budget,
+            breaker_failures=args.breaker_failures,
+            breaker_reset=args.breaker_reset,
         )
         if args.shards > 1:
             from repro.shard import ShardConfig, ShardedBroker
@@ -472,6 +506,17 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
             f"{summary['ledger_price_iterations']} price iteration(s), "
             f"{summary['reconciliation_evictions']} eviction(s)"
         )
+    if args.cycle_budget is not None or args.breaker_failures:
+        rungs = summary.get("rung_counts", {})
+        rung_line = ", ".join(
+            f"{name} {rungs.get(name, 0)}"
+            for name in ("exact", "incumbent", "lp_round", "greedy")
+        )
+        print(
+            f"resilience: {rung_line}; "
+            f"breaker opens {summary.get('breaker_opens', 0)}, "
+            f"backoff {summary.get('backoff_seconds', 0.0):.3f}s"
+        )
     if args.wal:
         line = (
             f"wal {args.wal}: {summary['wal_bytes']} bytes "
@@ -518,6 +563,9 @@ def _run_serve_live(parser: argparse.ArgumentParser, args: argparse.Namespace) -
             resume=args.resume,
             shards=args.shards,
             partition=args.partition,
+            cycle_budget=args.cycle_budget,
+            breaker_failures=args.breaker_failures,
+            breaker_reset=args.breaker_reset,
             **overrides,
         )
     except ValueError as exc:

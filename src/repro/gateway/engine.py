@@ -30,6 +30,7 @@ from repro.core.online import commit_decision, solve_batch
 from repro.exceptions import GatewayError, SolverTimeoutError
 from repro.lp.result import SolveStatus
 from repro.net.topology import Topology
+from repro.resilience import CircuitBreaker, CycleBudget, DegradationLadder
 from repro.service.broker import CycleResult
 from repro.service.cache import DecisionCache
 from repro.service.telemetry import BatchRecord
@@ -52,6 +53,9 @@ class LiveCycleEngine:
         max_batch: int | None = None,
         fast_path: bool = True,
         on_batch=None,
+        budget: CycleBudget | None = None,
+        breaker: CircuitBreaker | None = None,
+        check_cancelled=None,
     ) -> None:
         if slots_per_cycle < 1:
             raise ValueError(f"slots_per_cycle must be >= 1, got {slots_per_cycle}")
@@ -64,6 +68,21 @@ class LiveCycleEngine:
         self.cache = cache
         self.max_batch = max_batch
         self.fast_path = fast_path
+        #: Shared wall-clock deadline for each cycle's solves; re-armed by
+        #: :meth:`start_cycle`.  With a budget (or breaker) set, decisions
+        #: route through a :class:`DegradationLadder` instead of the bare
+        #: exact solve, so every window commits before the deadline.
+        self.budget = budget
+        self.breaker = breaker
+        self.check_cancelled = check_cancelled
+        self.ladder: DegradationLadder | None = None
+        if budget is not None or breaker is not None:
+            self.ladder = DegradationLadder(
+                budget=budget,
+                breaker=breaker,
+                time_limit=time_limit,
+                fast_path=fast_path,
+            )
         #: Invoked with each committed :class:`BatchRecord` — the same
         #: write-ahead hook ``run_cycle`` offers the durability layer.
         self.on_batch = on_batch
@@ -91,6 +110,8 @@ class LiveCycleEngine:
                 f"cycles must advance: {cycle_index} after {self.cycle}"
             )
         self.cycle = cycle_index
+        if self.budget is not None:
+            self.budget.restart()
         num_edges = len(self.edges)
         self.committed = np.zeros((num_edges, self.slots_per_cycle))
         self.charged = np.zeros(num_edges)
@@ -167,6 +188,7 @@ class LiveCycleEngine:
             hit = False
             timed_out = False
             suboptimal = False
+            rung = "cache"
             key = None
             if self.cache is not None:
                 key = self.cache.make_key(
@@ -176,7 +198,22 @@ class LiveCycleEngine:
                     key = (key[0] + dual_digest, key[1])
                 decision = self.cache.get(key)
                 hit = decision is not None
-            if decision is None:
+            if decision is None and self.ladder is not None:
+                outcome = self.ladder.decide(
+                    decision_instance,
+                    chunk_ids,
+                    self.committed,
+                    self.charged,
+                    check_cancelled=self.check_cancelled,
+                )
+                decision = list(outcome.choices)
+                timed_out = outcome.timed_out
+                suboptimal = outcome.suboptimal
+                rung = outcome.rung
+                if self.cache is not None and outcome.cacheable:
+                    self.cache.put(key, decision)
+            elif decision is None:
+                rung = "exact"
                 try:
                     outcome = solve_batch(
                         decision_instance,
@@ -184,6 +221,7 @@ class LiveCycleEngine:
                         self.committed,
                         self.charged,
                         time_limit=self.time_limit,
+                        check_cancelled=self.check_cancelled,
                         fast_path=self.fast_path,
                     )
                 except SolverTimeoutError:
@@ -222,6 +260,7 @@ class LiveCycleEngine:
                 cache_hit=hit,
                 timed_out=timed_out,
                 suboptimal=suboptimal,
+                rung=rung,
             )
             self._commit_record(record)
             drained_any = True
@@ -241,6 +280,7 @@ class LiveCycleEngine:
                     incremental_cost=0.0,
                     solver_seconds=0.0,
                     cache_hit=False,
+                    rung="shed",
                 )
             )
         return choices

@@ -56,6 +56,7 @@ from repro.gateway.protocol import (
     parse_bid_line,
 )
 from repro.gateway.wallclock import WallClock
+from repro.resilience import CircuitBreaker, CycleBudget
 from repro.service.broker import BrokerConfig, _StateWriter, _make_topology
 from repro.service.cache import DecisionCache
 from repro.service.ingest import AdmissionQueue, PushSource
@@ -115,6 +116,14 @@ class GatewayConfig:
     # coordinated through a shared bandwidth ledger.
     shards: int = 1
     partition: str = "hash"
+    # Resilience levers (repro.resilience), mirroring BrokerConfig: a
+    # wall-clock budget per billing cycle routes decisions through the
+    # degradation ladder; breaker_failures > 0 arms a circuit breaker
+    # (one per shard when sharded) in front of the exact solver.  All
+    # three are execution levers — absent from the WAL fingerprint.
+    cycle_budget: float | None = None
+    breaker_failures: int = 0
+    breaker_reset: float = 5.0
 
     def __post_init__(self) -> None:
         if self.slots_per_cycle < 1:
@@ -157,6 +166,18 @@ class GatewayConfig:
             raise ValueError(
                 f"partition must be one of {PARTITION_MODES}, "
                 f"got {self.partition!r}"
+            )
+        if self.cycle_budget is not None and not (self.cycle_budget > 0):
+            raise ValueError(
+                f"cycle_budget must be > 0 or None, got {self.cycle_budget!r}"
+            )
+        if self.breaker_failures < 0:
+            raise ValueError(
+                f"breaker_failures must be >= 0, got {self.breaker_failures}"
+            )
+        if not (self.breaker_reset > 0):
+            raise ValueError(
+                f"breaker_reset must be > 0, got {self.breaker_reset!r}"
             )
 
     def broker_config(self) -> BrokerConfig:
@@ -337,6 +358,18 @@ class GatewayServer:
         cache = (
             DecisionCache(config.cache_size) if config.cache_size > 0 else None
         )
+        budget = (
+            CycleBudget(config.cycle_budget)
+            if config.cycle_budget is not None
+            else None
+        )
+        check_cancelled = None
+        if self.faults is not None:
+            faults = self.faults
+
+            def check_cancelled() -> None:
+                faults.maybe_hang_solver()
+
         if config.shards > 1:
             from repro.shard.live import ShardedLiveEngine
 
@@ -351,8 +384,20 @@ class GatewayServer:
                 max_batch=config.max_batch,
                 fast_path=config.fast_path,
                 on_batch=self._on_batch,
+                budget=budget,
+                breaker_failures=config.breaker_failures,
+                breaker_reset=config.breaker_reset,
+                check_cancelled=check_cancelled,
             )
         else:
+            breaker = (
+                CircuitBreaker(
+                    failure_threshold=config.breaker_failures,
+                    reset_seconds=config.breaker_reset,
+                )
+                if config.breaker_failures > 0
+                else None
+            )
             self._engine = LiveCycleEngine(
                 self.topology,
                 config.slots_per_cycle,
@@ -362,6 +407,9 @@ class GatewayServer:
                 max_batch=config.max_batch,
                 fast_path=config.fast_path,
                 on_batch=self._on_batch,
+                budget=budget,
+                breaker=breaker,
+                check_cancelled=check_cancelled,
             )
         if next_cycle > 0:
             self._engine.start_cycle(next_cycle)
@@ -544,6 +592,21 @@ class GatewayServer:
         self.telemetry.wal_bytes = (
             self._journal.size_bytes if self._journal is not None else 0
         )
+        engine = self._engine
+        if engine is not None:
+            fleet_counters = getattr(engine, "breaker_counters", None)
+            breaker = getattr(engine, "breaker", None)
+            if fleet_counters is not None:
+                totals = fleet_counters()
+                self.telemetry.breaker_opens = totals["opens"]
+                self.telemetry.breaker_failures = totals["failures"]
+                self.telemetry.breaker_probes = totals["probes"]
+                self.telemetry.breaker_short_circuits = totals["short_circuits"]
+            elif breaker is not None:
+                self.telemetry.breaker_opens = breaker.opens
+                self.telemetry.breaker_failures = breaker.failures
+                self.telemetry.breaker_probes = breaker.probes
+                self.telemetry.breaker_short_circuits = breaker.short_circuits
         self.telemetry.snapshot_seconds = (
             self._writer.snapshot_seconds if self._writer is not None else 0.0
         )

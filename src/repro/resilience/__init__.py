@@ -1,0 +1,49 @@
+"""Deadline-guaranteed serving: budgets, degradation rungs, breakers.
+
+The profit objective only holds if the broker actually answers bids
+before the billing-cycle boundary — a hung MILP solve, a flapping pool
+worker or one sick shard must never stall a whole cycle.  This package
+turns "crash-consistent" into "deadline-guaranteed":
+
+* :class:`~repro.resilience.budget.CycleBudget` splits one cycle's
+  wall-clock deadline into shrinking per-solve time limits;
+* :class:`~repro.resilience.ladder.DegradationLadder` answers every
+  batch through the cheapest rung that fits the remaining budget —
+  exact MILP → feasible incumbent → LP-relaxation rounding →
+  greedy value-density admission (pure numpy, always link-feasible,
+  microseconds) — so a batch that blows its budget drops a rung
+  instead of being declined wholesale;
+* :class:`~repro.resilience.breaker.CircuitBreaker` opens after
+  consecutive solver faults and routes batches straight to the greedy
+  rung until a half-open probe restores exact solves, and
+  :class:`~repro.resilience.breaker.ExponentialBackoff` paces
+  worker-pool restarts with deterministic seeded jitter.
+
+The admission-policy stance follows Mazzucco & Mitrani
+(arXiv:1102.3703) and the profit-maximizing allocation line
+(arXiv:1205.5871): under SLA pressure, answering with a cheaper policy
+beats answering late — degraded-but-feasible decisions dominate missed
+deadlines.
+"""
+
+from repro.resilience.breaker import BreakerOpen, CircuitBreaker, ExponentialBackoff
+from repro.resilience.budget import CycleBudget
+from repro.resilience.ladder import (
+    RUNGS,
+    DegradationLadder,
+    LadderDecision,
+    greedy_admission,
+    lp_round_admission,
+)
+
+__all__ = [
+    "CycleBudget",
+    "CircuitBreaker",
+    "BreakerOpen",
+    "ExponentialBackoff",
+    "DegradationLadder",
+    "LadderDecision",
+    "RUNGS",
+    "greedy_admission",
+    "lp_round_admission",
+]

@@ -44,6 +44,7 @@ from repro.exceptions import SolverTimeoutError
 from repro.lp.result import SolveStatus
 from repro.net.topologies import abilene, b4, sub_b4
 from repro.net.topology import Topology
+from repro.resilience import CircuitBreaker, CycleBudget, DegradationLadder
 from repro.service import pool as pool_mod
 from repro.service.cache import DecisionCache
 from repro.service.clock import SimClock
@@ -73,7 +74,14 @@ __all__ = [
     "BrokerReport",
     "Broker",
     "run_cycle",
+    "DEFAULT_TIME_LIMIT",
 ]
+
+#: The single source of the per-solve time-limit default (seconds).
+#: ``BrokerConfig.time_limit`` and the ``repro serve`` CLI both start
+#: from this value; passing ``time_limit=None`` anywhere (including
+#: :func:`run_cycle`) means *unlimited* — the solver runs to optimality.
+DEFAULT_TIME_LIMIT = 60.0
 
 #: Flat retail price per bandwidth unit per slot (see
 #: :data:`repro.experiments.common.DEFAULT_UNIT_VALUE` for the rationale).
@@ -113,6 +121,18 @@ class BrokerConfig:
     via ``Broker.run(resume=True)``.  ``fsync`` picks the durability/
     throughput trade-off: ``"never"``, ``"batch"`` (one fsync per cycle
     commit, the default) or ``"always"`` (one per record).
+
+    ``time_limit`` caps each *individual* batch solve (seconds); its
+    default is :data:`DEFAULT_TIME_LIMIT` and ``None`` means unlimited.
+    Resilience (see :mod:`repro.resilience`): ``cycle_budget`` (seconds,
+    ``None`` = off) arms a :class:`~repro.resilience.budget.CycleBudget`
+    per cycle — batch solves then receive shrinking slices of the
+    remaining budget (still clipped to ``time_limit``) and budget-blown
+    batches degrade down the ladder instead of declining wholesale.
+    ``breaker_failures`` (0 = off) arms a
+    :class:`~repro.resilience.breaker.CircuitBreaker`: that many
+    consecutive solver timeouts route batches straight to the greedy
+    rung until a probe succeeds after ``breaker_reset`` seconds.
     """
 
     topology: str | Topology = "b4"
@@ -126,7 +146,7 @@ class BrokerConfig:
     value_model: ValueModel = field(
         default_factory=lambda: FlatRateValueModel(_DEFAULT_UNIT_VALUE)
     )
-    time_limit: float | None = 60.0
+    time_limit: float | None = DEFAULT_TIME_LIMIT
     workers: int = 0
     cache_size: int = 1024
     queue_capacity: int | None = None
@@ -135,6 +155,9 @@ class BrokerConfig:
     wal_path: str | Path | None = None
     snapshot_every: int = 1
     fsync: str = "batch"
+    cycle_budget: float | None = None
+    breaker_failures: int = 0
+    breaker_reset: float = 5.0
 
     def __post_init__(self) -> None:
         if self.num_cycles < 1:
@@ -160,6 +183,18 @@ class BrokerConfig:
         if self.fsync not in FSYNC_POLICIES:
             raise ValueError(
                 f"fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        if self.cycle_budget is not None and not self.cycle_budget > 0:
+            raise ValueError(
+                f"cycle_budget must be > 0 (or None), got {self.cycle_budget!r}"
+            )
+        if self.breaker_failures < 0:
+            raise ValueError(
+                f"breaker_failures must be >= 0, got {self.breaker_failures}"
+            )
+        if self.breaker_reset < 0:
+            raise ValueError(
+                f"breaker_reset must be >= 0, got {self.breaker_reset!r}"
             )
 
     def clock(self) -> SimClock:
@@ -213,6 +248,8 @@ def run_cycle(
     clock=None,
     instance: SPMInstance | None = None,
     dual_prices: np.ndarray | None = None,
+    budget: CycleBudget | None = None,
+    ladder: DegradationLadder | None = None,
 ) -> CycleResult:
     """Serve one billing cycle end to end; the broker's core loop.
 
@@ -225,11 +262,23 @@ def run_cycle(
     :class:`SimClock` over the cycle's slots — ``window`` is ignored when
     a clock is passed, since the clock owns the window structure).
 
+    ``time_limit`` caps each batch solve in seconds; ``None`` means
+    *unlimited* (the config-level default is
+    :data:`DEFAULT_TIME_LIMIT` — see ``BrokerConfig.time_limit``).
     Degrades gracefully under ``time_limit`` pressure instead of crashing
     the serving loop: a limit-hit solve with a feasible incumbent keeps
     the incumbent (recorded ``suboptimal``); a limit-hit solve with no
     incumbent declines the whole batch (recorded ``timed_out``).  Only
     proven-optimal decisions enter the cache.
+
+    Resilience: passing ``budget`` (restarted at cycle entry) or a
+    prebuilt ``ladder`` (budget lifecycle owned by the caller — the
+    sharded broker shares one budget across shard ladders) routes every
+    batch through the :class:`~repro.resilience.ladder.DegradationLadder`
+    instead: solves get shrinking budget slices, and a limit-hit or
+    budget-starved batch is decided by a degraded rung (LP rounding,
+    then greedy value-density) rather than declined.  Each record's
+    ``rung`` says which rung answered.
 
     ``on_batch`` (when given) is invoked with each :class:`BatchRecord`
     the moment its decision is committed — the write-ahead hook the
@@ -248,6 +297,11 @@ def run_cycle(
     different prices never alias.
     """
     t0 = time.perf_counter()
+    if ladder is None and budget is not None:
+        budget.restart()
+        ladder = DegradationLadder(
+            budget=budget, time_limit=time_limit, fast_path=fast_path
+        )
     if instance is None:
         instance = SPMInstance.build(topology, requests, k_paths=k_paths)
     decision_instance = instance
@@ -289,6 +343,7 @@ def run_cycle(
             hit = False
             timed_out = False
             suboptimal = False
+            rung = "cache"
             key = None
             if cache is not None:
                 key = cache.make_key(instance, batch_ids, committed, charged)
@@ -296,7 +351,22 @@ def run_cycle(
                     key = (key[0] + dual_digest, key[1])
                 decision = cache.get(key)
                 hit = decision is not None
-            if decision is None:
+            if decision is None and ladder is not None:
+                outcome = ladder.decide(
+                    decision_instance,
+                    batch_ids,
+                    committed,
+                    charged,
+                    check_cancelled=check_cancelled,
+                )
+                decision = list(outcome.choices)
+                timed_out = outcome.timed_out
+                suboptimal = outcome.suboptimal
+                rung = outcome.rung
+                if cache is not None and outcome.cacheable:
+                    cache.put(key, decision)
+            elif decision is None:
+                rung = "exact"
                 try:
                     outcome = solve_batch(
                         decision_instance,
@@ -343,6 +413,7 @@ def run_cycle(
                 cache_hit=hit,
                 timed_out=timed_out,
                 suboptimal=suboptimal,
+                rung=rung,
             )
             batches.append(record)
             if on_batch is not None:
@@ -361,6 +432,7 @@ def run_cycle(
                 incremental_cost=0.0,
                 solver_seconds=0.0,
                 cache_hit=False,
+                rung="shed",
             )
             batches.append(record)
             if on_batch is not None:
@@ -394,8 +466,11 @@ def _cycle_worker(payload: tuple) -> CycleResult:
     Uses the worker's per-process decision cache and the pool's
     cooperative-cancellation flag (both installed by the pool initializer).
     A :class:`~repro.state.FaultPlan` riding on the payload is consulted
-    at the cancellation poll, so an injected worker death lands mid-cycle
-    between solves — the crash point the pool's restart path must survive.
+    at the cancellation poll, so an injected worker death or solver hang
+    lands mid-cycle between solves — the crash points the pool's restart
+    path and the cycle budget must survive.  ``cycle_budget`` (seconds,
+    or ``None``) arms a fresh in-worker :class:`CycleBudget` so pooled
+    cycles are deadline-guaranteed too.
     """
     (
         topology,
@@ -408,11 +483,14 @@ def _cycle_worker(payload: tuple) -> CycleResult:
         max_batch,
         fast_path,
         faults,
+        cycle_budget,
     ) = payload
     check_cancelled = pool_mod.check_cancelled
     if faults is not None:
         def check_cancelled():
             faults.maybe_kill_worker(cycle_index)
+            faults.maybe_hang_solver()
+            faults.maybe_slow_worker()
             return pool_mod.check_cancelled()
     return run_cycle(
         topology,
@@ -426,6 +504,9 @@ def _cycle_worker(payload: tuple) -> CycleResult:
         max_batch=max_batch,
         check_cancelled=check_cancelled,
         fast_path=fast_path,
+        budget=(
+            CycleBudget(cycle_budget) if cycle_budget is not None else None
+        ),
     )
 
 
@@ -587,6 +668,8 @@ class Broker:
             raise ValueError("resume=True requires BrokerConfig.wal_path")
         t0 = time.perf_counter()
         self._worker_restarts = 0
+        self._backoff_seconds = 0.0
+        self._breaker = None
 
         recovered: list[CycleResult] = []
         recovered_batches = 0
@@ -652,6 +735,12 @@ class Broker:
             writer.snapshot_seconds if writer is not None else 0.0
         )
         telemetry.worker_restarts = self._worker_restarts
+        telemetry.backoff_seconds = self._backoff_seconds
+        if self._breaker is not None:
+            telemetry.breaker_opens = self._breaker.opens
+            telemetry.breaker_failures = self._breaker.failures
+            telemetry.breaker_probes = self._breaker.probes
+            telemetry.breaker_short_circuits = self._breaker.short_circuits
         return BrokerReport(config=config, cycles=results, telemetry=telemetry)
 
     def _run_serial(
@@ -659,10 +748,42 @@ class Broker:
     ) -> list[CycleResult]:
         config = self.config
         cache = DecisionCache(config.cache_size) if config.cache_size > 0 else None
+        budget = (
+            CycleBudget(config.cycle_budget)
+            if config.cycle_budget is not None
+            else None
+        )
+        breaker = (
+            CircuitBreaker(
+                failure_threshold=config.breaker_failures,
+                reset_seconds=config.breaker_reset,
+            )
+            if config.breaker_failures > 0
+            else None
+        )
+        ladder = None
+        if budget is not None or breaker is not None:
+            ladder = DegradationLadder(
+                budget=budget,
+                breaker=breaker,
+                time_limit=config.time_limit,
+                fast_path=config.fast_path,
+            )
+        self._breaker = breaker
+        check_cancelled = None
+        if self.faults is not None:
+            faults = self.faults
+
+            def check_cancelled():
+                faults.maybe_hang_solver()
+                return False
+
         results = []
         for index in range(start, config.num_cycles):
             if self._stop_requested:
                 break
+            if budget is not None:
+                budget.restart()
             result = run_cycle(
                 self.topology,
                 self.source.cycle(index),
@@ -673,8 +794,10 @@ class Broker:
                 cache=cache,
                 queue_capacity=config.queue_capacity,
                 max_batch=config.max_batch,
+                check_cancelled=check_cancelled,
                 fast_path=config.fast_path,
                 on_batch=writer.on_batch if writer is not None else None,
+                ladder=ladder,
             )
             if writer is not None:
                 writer.commit_cycle(result)
@@ -697,6 +820,7 @@ class Broker:
                 config.max_batch,
                 config.fast_path,
                 self.faults,
+                config.cycle_budget,
             )
             for index in range(start, config.num_cycles)
         ]
@@ -709,6 +833,7 @@ class Broker:
                 if self._stop_requested:
                     break
             self._worker_restarts = solver_pool.worker_restarts
+            self._backoff_seconds = solver_pool.backoff_seconds
         return results
 
     def with_config(self, **changes) -> "Broker":

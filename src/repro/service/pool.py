@@ -25,18 +25,24 @@ Two serving-specific behaviors are layered on top of the bare executor:
   executor and resubmits every task that had no result yet, up to
   ``max_restarts`` times; tasks must therefore be idempotent, which
   broker cycles are (deterministic, starting from empty state).
+  Consecutive rebuilds are paced by an
+  :class:`~repro.resilience.breaker.ExponentialBackoff` with
+  deterministic seeded jitter (a crash loop must not hot-spin the fork
+  path); the accumulated sleep is exposed as :attr:`backoff_seconds`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections.abc import Iterator
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable
 
 from repro.exceptions import SolverError
+from repro.resilience.breaker import ExponentialBackoff
 
 from repro.service.cache import DecisionCache
 
@@ -74,12 +80,21 @@ class SolverPool:
     ``workers`` fixes the process count; ``cache_size`` sizes each worker's
     private decision cache (0 disables caching); ``max_restarts`` bounds
     how many times a dead worker may break (and rebuild) the executor
-    before the run is abandoned.  Use as a context manager or call
+    before the run is abandoned.  ``backoff`` paces those rebuilds
+    (defaults to a seeded :class:`~repro.resilience.breaker.ExponentialBackoff`;
+    pass your own to control seed/cap, and read :attr:`backoff_seconds`
+    for the total sleep).  Use as a context manager or call
     :meth:`shutdown` explicitly.
     """
 
     def __init__(
-        self, workers: int, *, cache_size: int = 1024, max_restarts: int = 3
+        self,
+        workers: int,
+        *,
+        cache_size: int = 1024,
+        max_restarts: int = 3,
+        backoff: ExponentialBackoff | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -91,8 +106,15 @@ class SolverPool:
         self.cache_size = cache_size
         self.max_restarts = max_restarts
         self.worker_restarts = 0
+        self.backoff = backoff if backoff is not None else ExponentialBackoff()
+        self._sleep = sleep
         self._cancel_event = multiprocessing.Event()
         self._executor = self._make_executor()
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Total seconds slept between executor restarts (telemetry)."""
+        return self.backoff.total_seconds
 
     def _make_executor(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -108,6 +130,7 @@ class SolverPool:
                 f"worker pool broke {self.worker_restarts} times "
                 f"(max_restarts={self.max_restarts}); giving up"
             )
+        self._sleep(self.backoff.next_delay())
         self._executor.shutdown(wait=False, cancel_futures=True)
         self._executor = self._make_executor()
 
@@ -158,10 +181,32 @@ class SolverPool:
                         next_index += 1
             if broken:
                 self._restart_executor()
+            else:
+                self.backoff.reset()
             pending = retry
         while next_index in done:
             yield done.pop(next_index)
             next_index += 1
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any):
+        """Submit one task; returns the raw :class:`~concurrent.futures.Future`.
+
+        The escape hatch for callers that need *per-task* deadlines —
+        the sharded broker's hedged solves call
+        ``future.result(timeout=...)`` per shard so one hung shard can be
+        degraded alone while its siblings' results are still consumed.
+        Unlike :meth:`imap`, a broken pool is the caller's to handle
+        (call :meth:`restart` and resubmit, or fall back locally).
+        """
+        return self._executor.submit(fn, payload)
+
+    def restart(self) -> None:
+        """Rebuild the executor after a broken pool (backoff-paced).
+
+        Public form of the recovery :meth:`imap` performs internally, for
+        :meth:`submit` callers that own their retry logic.
+        """
+        self._restart_executor()
 
     def cancel(self) -> None:
         """Signal cooperative cancellation and drop queued (unstarted) tasks."""

@@ -186,11 +186,15 @@ class LatencyHistogram:
 class BatchRecord:
     """Counters of one decided admission batch.
 
-    ``timed_out`` marks a batch whose solve hit its time limit with no
-    usable incumbent — the broker declined the whole batch rather than
-    crash.  ``suboptimal`` marks a batch decided from a limit-hit feasible
-    incumbent: a valid, capacity-respecting decision without an optimality
-    certificate.
+    ``timed_out`` marks a batch whose exact solve hit its time limit —
+    under the degradation ladder the batch is still *decided* (by a lower
+    rung) rather than declined wholesale.  ``suboptimal`` marks a batch
+    decided without an optimality certificate (a limit-hit feasible
+    incumbent, or any degraded rung).  ``rung`` records which ladder rung
+    produced the decision (see :data:`repro.resilience.ladder.RUNGS`);
+    ``"exact"`` is also the value for pre-ladder records, ``"cache"``
+    for decision-cache hits and ``"shed"`` for shed-only records, so old
+    WALs replay with the correct default.
     """
 
     cycle: int
@@ -205,6 +209,7 @@ class BatchRecord:
     cache_hit: bool
     timed_out: bool = False
     suboptimal: bool = False
+    rung: str = "exact"
 
 
 @dataclass
@@ -222,6 +227,14 @@ class TelemetryCollector:
     wal_bytes: int = 0
     snapshot_seconds: float = 0.0
     worker_restarts: int = 0
+    #: Resilience counters (see :mod:`repro.resilience`): seconds spent
+    #: backing off between pool-executor restarts, and the circuit
+    #: breaker's lifecycle counts.
+    backoff_seconds: float = 0.0
+    breaker_opens: int = 0
+    breaker_failures: int = 0
+    breaker_probes: int = 0
+    breaker_short_circuits: int = 0
     #: Sharded-serving counters (see :mod:`repro.shard`): per-shard
     #: sections keyed by shard id, plus the run totals of the bandwidth
     #: ledger's dual-price iterations and reconciliation evictions.
@@ -268,6 +281,13 @@ class TelemetryCollector:
     def solver_seconds(self) -> float:
         return sum(record.solver_seconds for record in self.batches)
 
+    def rung_counts(self) -> dict[str, int]:
+        """Batches decided per ladder rung (see :mod:`repro.resilience`)."""
+        counts: dict[str, int] = {}
+        for record in self.batches:
+            counts[record.rung] = counts.get(record.rung, 0) + 1
+        return counts
+
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th percentile of per-batch decision latency (seconds)."""
         if not self.batches:
@@ -297,7 +317,7 @@ class TelemetryCollector:
         solved = len(self.batches) - hits
         decisions = self.num_decisions
         wall = self.wall_seconds
-        return {
+        payload: dict[str, Any] = {
             "cycles": len(self._cycle_profit),
             "batches": len(self.batches),
             "decisions": decisions,
@@ -312,6 +332,7 @@ class TelemetryCollector:
             ],
             "timed_out_batches": sum(1 for r in self.batches if r.timed_out),
             "suboptimal_batches": sum(1 for r in self.batches if r.suboptimal),
+            "rung_counts": self.rung_counts(),
             "cache_hits": hits,
             "cache_misses": solved,
             "cache_hit_rate": hits / len(self.batches) if self.batches else 0.0,
@@ -326,10 +347,21 @@ class TelemetryCollector:
             "wal_bytes": self.wal_bytes,
             "snapshot_seconds": self.snapshot_seconds,
             "worker_restarts": self.worker_restarts,
+            "backoff_seconds": self.backoff_seconds,
+            "breaker_opens": self.breaker_opens,
+            "breaker_failures": self.breaker_failures,
+            "breaker_probes": self.breaker_probes,
+            "breaker_short_circuits": self.breaker_short_circuits,
             "num_shards": len(self.shards),
             "ledger_price_iterations": self.ledger_price_iterations,
             "reconciliation_evictions": self.reconciliation_evictions,
         }
+        if self.shards:
+            payload["shards"] = {
+                str(shard_id): dict(self.shards[shard_id])
+                for shard_id in sorted(self.shards)
+            }
+        return payload
 
     def dump_json(self, path: str | Path) -> None:
         """Write the summary plus every batch record to ``path``.

@@ -34,6 +34,8 @@ uninterrupted runs, produce identical decision logs.
 from __future__ import annotations
 
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -44,6 +46,7 @@ from repro.core.schedule import Schedule
 from repro.decomp.ledger import BandwidthLedger, make_step_schedule
 from repro.decomp.partition import PARTITION_MODES, partition_requests
 from repro.decomp.solver import _reconcile
+from repro.resilience import CircuitBreaker, CycleBudget, DegradationLadder
 from repro.service import pool as pool_mod
 from repro.service.broker import (
     BrokerConfig,
@@ -82,6 +85,15 @@ class ShardConfig(BrokerConfig):
     schedule (``step0=None`` scales to the topology's mean link price).
     ``workers`` retains its meaning — with ``workers >= 2`` the shard
     cycles of each billing cycle are decided in parallel processes.
+
+    The inherited resilience knobs compose with sharding: with
+    ``cycle_budget`` set the fleet shares one
+    :class:`~repro.resilience.budget.CycleBudget` per cycle, pooled shard
+    solves become **hedged** (each shard future is awaited only for the
+    remaining budget; a hung shard is degraded locally down the ladder
+    while healthy shards stay exact), and ``breaker_failures`` arms one
+    circuit breaker *per shard* so a chronically sick shard is routed
+    straight to the greedy rung without touching the pool.
     """
 
     shards: int = 2
@@ -226,11 +238,14 @@ def _shard_cycle_worker(payload: tuple):
         fast_path,
         duals,
         faults,
+        cycle_budget,
     ) = payload
     check_cancelled = pool_mod.check_cancelled
     if faults is not None:
         def check_cancelled():
             faults.maybe_kill_worker(cycle_index)
+            faults.maybe_hang_solver()
+            faults.maybe_slow_worker()
             return pool_mod.check_cancelled()
     instance = SPMInstance.build(topology, requests, k_paths=k_paths)
     result = run_cycle(
@@ -247,6 +262,9 @@ def _shard_cycle_worker(payload: tuple):
         fast_path=fast_path,
         instance=instance,
         dual_prices=duals,
+        budget=(
+            CycleBudget(cycle_budget) if cycle_budget is not None else None
+        ),
     )
     return shard_id, result, instance.loads(result.assignment)
 
@@ -264,6 +282,7 @@ class _ShardJournals:
     ) -> None:
         self.faults = faults
         fsync_hook = faults.fsync_hook() if faults is not None else None
+        write_hook = faults.write_hook() if faults is not None else None
         self.shards: list[Journal] = []
         for shard_id in range(config.shards):
             journal = Journal.open(
@@ -279,10 +298,14 @@ class _ShardJournals:
                 next_cycle,
             )
             self.shards.append(journal)
+        # Only the ledger journal gets the torn-write hook: the ledger
+        # record is what acknowledges a fleet cycle, so a partial ledger
+        # append is the worst-placed tear the recovery path must heal.
         self.ledger = Journal.open(
             ledger_wal_path(wal_base),
             fsync=config.fsync,
             fsync_hook=fsync_hook,
+            write_hook=write_hook,
         )
         self._stamp(
             self.ledger,
@@ -424,6 +447,33 @@ class ShardedBroker:
             raise ValueError("resume=True requires ShardConfig.wal_path")
         t0 = time.perf_counter()
         self._worker_restarts = 0
+        self._backoff_seconds = 0.0
+        self._budget = (
+            CycleBudget(config.cycle_budget)
+            if config.cycle_budget is not None
+            else None
+        )
+        self._breakers: list[CircuitBreaker | None] = [
+            CircuitBreaker(
+                failure_threshold=config.breaker_failures,
+                reset_seconds=config.breaker_reset,
+            )
+            if config.breaker_failures > 0
+            else None
+            for _ in range(config.shards)
+        ]
+        self._ladders: list[DegradationLadder | None] = [
+            DegradationLadder(
+                budget=self._budget,
+                breaker=self._breakers[shard_id],
+                time_limit=config.time_limit,
+                fast_path=config.fast_path,
+            )
+            if self._budget is not None or self._breakers[shard_id] is not None
+            else None
+            for shard_id in range(config.shards)
+        ]
+        self._hedges = [0] * config.shards
 
         ledger = self._make_ledger()
         completed: list[ShardedCycle] = []
@@ -496,8 +546,24 @@ class ShardedBroker:
         telemetry.recovered_batches = recovered_batches
         telemetry.wal_bytes = wal_bytes
         telemetry.worker_restarts = self._worker_restarts
+        telemetry.backoff_seconds = self._backoff_seconds
         telemetry.ledger_price_iterations = ledger.price_iterations
         telemetry.reconciliation_evictions = ledger.evictions
+        for shard_id, breaker in enumerate(self._breakers):
+            if breaker is None and not self._hedges[shard_id]:
+                continue
+            section: dict = {"hedged_solves": self._hedges[shard_id]}
+            if breaker is not None:
+                telemetry.breaker_opens += breaker.opens
+                telemetry.breaker_failures += breaker.failures
+                telemetry.breaker_probes += breaker.probes
+                telemetry.breaker_short_circuits += breaker.short_circuits
+                section.update(
+                    breaker_opens=breaker.opens,
+                    breaker_failures=breaker.failures,
+                    breaker_state=breaker.state,
+                )
+            telemetry.record_shard(shard_id, section)
         return ShardedReport(config=config, cycles=cycles, telemetry=telemetry)
 
     # ---------------------------------------------------------- the loop
@@ -529,6 +595,7 @@ class ShardedBroker:
                 results.append(sharded)
             if pool is not None:
                 self._worker_restarts = pool.worker_restarts
+                self._backoff_seconds = pool.backoff_seconds
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -546,6 +613,8 @@ class ShardedBroker:
         shard_ids = partition_requests(
             self.topology, requests, config.shards, config.partition
         )
+        if self._budget is not None:
+            self._budget.restart()
         duals = ledger.duals.copy()
         payloads = [
             (
@@ -561,13 +630,16 @@ class ShardedBroker:
                 config.fast_path,
                 duals,
                 self.faults if pool is not None else None,
+                config.cycle_budget,
             )
             for shard_id, ids in enumerate(shard_ids)
         ]
 
         shard_results: list[CycleResult | None] = [None] * config.shards
         ledger.begin_round()
-        if pool is not None:
+        if pool is not None and self._budget is not None:
+            outcomes = self._serve_cycle_hedged(pool, payloads, caches)
+        elif pool is not None:
             outcomes = pool.imap(_shard_cycle_worker, payloads)
         else:
             outcomes = (
@@ -595,12 +667,62 @@ class ShardedBroker:
             duals_after=ledger.duals.tolist(),
         )
 
+    def _serve_cycle_hedged(self, pool: SolverPool, payloads, caches):
+        """Hedged pooled dispatch: one hung shard degrades alone.
+
+        Every shard is submitted to the pool individually; each future is
+        awaited only for the shared budget's *remaining* time.  A shard
+        that blows the wait (an injected hang, a byzantine-slow worker)
+        records a breaker failure and is re-decided **locally** down the
+        degradation ladder — microseconds, deadline-safe — while its late
+        pool result is simply discarded.  A dead worker restarts the
+        executor (backoff-paced) and re-decides locally too.  Shards
+        whose breaker is already open skip the pool entirely.
+        """
+        futures = []
+        for payload in payloads:
+            breaker = self._breakers[payload[0]]
+            if breaker is not None and not breaker.allow():
+                futures.append((payload, None))
+            else:
+                futures.append(
+                    (payload, pool.submit(_shard_cycle_worker, payload))
+                )
+        for payload, future in futures:
+            shard_id = payload[0]
+            breaker = self._breakers[shard_id]
+            if future is None:
+                yield self._serve_shard_serial(payload, caches)
+                continue
+            timeout = max(self._budget.remaining(), self._budget.min_slice)
+            try:
+                outcome = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                self._hedges[shard_id] += 1
+                if breaker is not None:
+                    breaker.record_failure()
+                future.cancel()
+                yield self._serve_shard_serial(payload, caches)
+            except BrokenProcessPool:
+                if breaker is not None:
+                    breaker.record_failure()
+                pool.restart()
+                yield self._serve_shard_serial(payload, caches)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                yield outcome
+
     def _serve_shard_serial(self, payload: tuple, caches):
         """The in-process twin of :func:`_shard_cycle_worker`.
 
         Identical decisions (the cache is exact and the loop
         deterministic); only the cache residency differs — serial shards
         keep one persistent cache per shard id instead of per process.
+        Doubles as the hedged path's local fallback: with resilience
+        configured the shard's ladder (shared budget, per-shard breaker)
+        decides every batch, so a budget already drained by a hung pool
+        solve lands the whole shard on the greedy rung.
         """
         (
             shard_id,
@@ -615,6 +737,7 @@ class ShardedBroker:
             fast_path,
             duals,
             _faults,
+            _cycle_budget,
         ) = payload
         instance = SPMInstance.build(topology, requests, k_paths=k_paths)
         result = run_cycle(
@@ -630,6 +753,7 @@ class ShardedBroker:
             fast_path=fast_path,
             instance=instance,
             dual_prices=duals,
+            ladder=self._ladders[shard_id],
         )
         return shard_id, result, instance.loads(result.assignment)
 

@@ -41,6 +41,7 @@ from repro.decomp.partition import (
 )
 from repro.gateway.engine import LiveCycleEngine
 from repro.net.topology import Topology
+from repro.resilience import CircuitBreaker, CycleBudget
 from repro.service.broker import CycleResult
 from repro.service.cache import DecisionCache
 from repro.service.telemetry import BatchRecord
@@ -70,6 +71,10 @@ class ShardedLiveEngine:
         step: str = "harmonic",
         step0: float | None = None,
         decay: float = 0.5,
+        budget: CycleBudget | None = None,
+        breaker_failures: int = 0,
+        breaker_reset: float = 5.0,
+        check_cancelled=None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -103,6 +108,21 @@ class ShardedLiveEngine:
             slots_per_cycle,
             schedule=make_step_schedule(step, step0, decay=decay),
         )
+        #: One wall-clock deadline for the whole fleet's cycle: every
+        #: shard engine shares it, so sequential shard decides naturally
+        #: split the shrinking remaining budget.  Each engine's
+        #: ``start_cycle`` re-arms it (idempotent within a cycle open).
+        self.budget = budget
+        #: Per-shard breakers: one sick shard degrades alone while its
+        #: siblings keep solving exactly.
+        self.breakers: list[CircuitBreaker | None] = [
+            CircuitBreaker(
+                failure_threshold=breaker_failures, reset_seconds=breaker_reset
+            )
+            if breaker_failures > 0
+            else None
+            for _ in range(shards)
+        ]
         # The decision cache is shared: keys fold the per-shard committed
         # state (and the dual digest when steering), so entries never
         # collide across shards.
@@ -116,8 +136,11 @@ class ShardedLiveEngine:
                 max_batch=max_batch,
                 fast_path=fast_path,
                 on_batch=self._on_sub_batch,
+                budget=budget,
+                breaker=self.breakers[shard],
+                check_cancelled=check_cancelled,
             )
-            for _ in range(shards)
+            for shard in range(shards)
         ]
         self.requests: list[Request] = []
         self.batches: list[BatchRecord] = []
@@ -238,7 +261,33 @@ class ShardedLiveEngine:
                 "revenue": result.revenue,
                 "profit": result.profit,
             }
+            breaker = self.breakers[shard]
+            if breaker is not None:
+                counters[shard]["breaker_opens"] = breaker.opens
+                counters[shard]["breaker_failures"] = breaker.failures
         return counters
+
+    def rung_counts(self) -> dict[str, int]:
+        """Fleet-wide ladder rung counts (all zeros when resilience is off)."""
+        totals: dict[str, int] = {}
+        for engine in self._engines:
+            if engine.ladder is None:
+                continue
+            for rung, count in engine.ladder.counts.items():
+                totals[rung] = totals.get(rung, 0) + count
+        return totals
+
+    def breaker_counters(self) -> dict[str, int]:
+        """Fleet-wide breaker counters summed across shards."""
+        totals = {"opens": 0, "failures": 0, "probes": 0, "short_circuits": 0}
+        for breaker in self.breakers:
+            if breaker is None:
+                continue
+            totals["opens"] += breaker.opens
+            totals["failures"] += breaker.failures
+            totals["probes"] += breaker.probes
+            totals["short_circuits"] += breaker.short_circuits
+        return totals
 
     def __repr__(self) -> str:
         return (

@@ -26,6 +26,7 @@ pool's restart budget ran out.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -48,7 +49,9 @@ class FaultPlan:
 
     All triggers are optional and independent; counters live on the plan,
     so one plan instance describes one crash.  The plan is pickled into
-    pool workers — only ``kill_worker_cycle``/``once_path`` matter there.
+    pool workers — only the latch-file triggers (``kill_worker_cycle``,
+    ``hang_solver_seconds``, ``slow_worker_seconds``) matter there, which
+    is why each coordinates through a path rather than in-memory state.
     """
 
     #: Raise :class:`SimulatedCrash` after journaling this many ``batch``
@@ -63,18 +66,48 @@ class FaultPlan:
     once_path: str | None = None
     #: Make the N-th fsync raise ``OSError`` (1-based).
     fail_fsync_at: int | None = None
+    #: Injected solver hang: sleep this long at a cancellation poll —
+    #: the seam :func:`repro.lp.solvers.solve_compiled_raw` checks before
+    #: dispatching, so the hang eats the cycle budget exactly where a
+    #: stuck presolve would.  Fires once, latched via ``hang_once_path``.
+    hang_solver_seconds: float | None = None
+    #: Latch file making the solver hang fire exactly once (required with
+    #: ``hang_solver_seconds``).
+    hang_once_path: str | None = None
+    #: Byzantine slow worker: the *first* pool worker to grab the
+    #: ``slow_worker_path`` pid-latch sleeps this long at **every**
+    #: cancellation poll — one degenerate process among healthy siblings,
+    #: the hedged-solve scenario.
+    slow_worker_seconds: float | None = None
+    #: Pid-latch file electing the slow worker (required with
+    #: ``slow_worker_seconds``).
+    slow_worker_path: str | None = None
+    #: Tear the N-th journal append (1-based): only half the frame
+    #: reaches the file, then :class:`SimulatedCrash` — the torn tail
+    #: :func:`repro.state.journal.scan_wal` must heal on reopen.
+    torn_write_at: int | None = None
 
     _batches_seen: int = 0
     _cycles_seen: int = 0
 
     def __post_init__(self) -> None:
         for name in ("crash_after_batches", "crash_after_cycles",
-                     "kill_worker_cycle", "fail_fsync_at"):
+                     "kill_worker_cycle", "fail_fsync_at",
+                     "hang_solver_seconds", "slow_worker_seconds",
+                     "torn_write_at"):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
         if self.kill_worker_cycle is not None and self.once_path is None:
             raise ValueError("kill_worker_cycle requires once_path (the latch)")
+        if self.hang_solver_seconds is not None and self.hang_once_path is None:
+            raise ValueError(
+                "hang_solver_seconds requires hang_once_path (the latch)"
+            )
+        if self.slow_worker_seconds is not None and self.slow_worker_path is None:
+            raise ValueError(
+                "slow_worker_seconds requires slow_worker_path (the pid latch)"
+            )
 
     # ------------------------------------------------------- broker hooks
 
@@ -115,7 +148,77 @@ class FaultPlan:
         os.close(fd)
         os._exit(1)
 
+    def maybe_hang_solver(self) -> None:
+        """Sleep (once) at a solver cancellation poll — an injected hang.
+
+        Latched through ``hang_once_path`` so only the first poll to win
+        the ``O_EXCL`` race stalls; every later solve proceeds normally
+        with whatever budget the hang left behind.
+        """
+        if self.hang_solver_seconds is None:
+            return
+        try:
+            fd = os.open(
+                self.hang_once_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return
+        os.close(fd)
+        time.sleep(self.hang_solver_seconds)
+
+    def maybe_slow_worker(self) -> None:
+        """Sleep at every poll iff *this process* is the elected slow worker.
+
+        The first process to create ``slow_worker_path`` writes its pid
+        and becomes byzantine-slow for the rest of the run; all other
+        processes read the latch, see a foreign pid, and stay healthy.
+        """
+        if self.slow_worker_seconds is None:
+            return
+        pid = os.getpid()
+        try:
+            fd = os.open(
+                self.slow_worker_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            try:
+                elected = int(Path(self.slow_worker_path).read_text() or -1)
+            except (OSError, ValueError):
+                return
+            if elected != pid:
+                return
+        else:
+            os.write(fd, str(pid).encode())
+            os.close(fd)
+        time.sleep(self.slow_worker_seconds)
+
     # --------------------------------------------------------- fsync hook
+
+    def write_hook(self) -> Callable[[object, bytes], bool] | None:
+        """A :class:`~repro.state.journal.Journal` write hook tearing one append.
+
+        At append ``torn_write_at`` (1-based) it writes only the first
+        half of the frame, flushes it to the OS — exactly what a crash
+        mid-``write(2)`` leaves — and raises :class:`SimulatedCrash`.
+        Every other append proceeds normally (returns ``False``).
+        """
+        if self.torn_write_at is None:
+            return None
+        target = self.torn_write_at
+        calls = 0
+
+        def hook(handle, frame: bytes) -> bool:
+            nonlocal calls
+            calls += 1
+            if calls == target:
+                handle.write(frame[: max(1, len(frame) // 2)])
+                handle.flush()
+                raise SimulatedCrash(
+                    f"injected torn write at journal append #{calls}"
+                )
+            return False
+
+        return hook
 
     def fsync_hook(self) -> Callable[[int], None] | None:
         """An ``os.fsync`` replacement failing at ``fail_fsync_at`` calls."""

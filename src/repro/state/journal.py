@@ -97,6 +97,12 @@ class Journal:
     make durability syncs fail on demand.  A failed sync raises
     :class:`~repro.exceptions.JournalError` — the caller must not
     acknowledge the records it was trying to make durable.
+
+    ``write_hook`` is the harness's *torn-write* seam: called per append
+    with ``(handle, frame)``; returning ``True`` means the hook wrote
+    (some prefix of) the frame itself — simulating a crash mid-``write``
+    that leaves a partial record for :func:`scan_wal` to heal — and
+    returning ``False`` lets the journal write normally.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class Journal:
         *,
         fsync: str = "batch",
         fsync_hook: Callable[[int], None] | None = None,
+        write_hook: Callable[[Any, bytes], bool] | None = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
@@ -113,6 +120,7 @@ class Journal:
         self.path = Path(path)
         self.fsync = fsync
         self._fsync_hook = fsync_hook if fsync_hook is not None else os.fsync
+        self._write_hook = write_hook
         self._handle = None
         self.records_appended = 0
 
@@ -123,9 +131,12 @@ class Journal:
         *,
         fsync: str = "batch",
         fsync_hook: Callable[[int], None] | None = None,
+        write_hook: Callable[[Any, bytes], bool] | None = None,
     ) -> "Journal":
         """Open ``path`` for appending, healing any torn/corrupt tail first."""
-        journal = cls(path, fsync=fsync, fsync_hook=fsync_hook)
+        journal = cls(
+            path, fsync=fsync, fsync_hook=fsync_hook, write_hook=write_hook
+        )
         _, good_offset, truncated = scan_wal(journal.path)
         journal.path.parent.mkdir(parents=True, exist_ok=True)
         handle = open(journal.path, "ab")
@@ -148,7 +159,8 @@ class Journal:
         """
         handle = self._require_open()
         frame = _encode(record)
-        handle.write(frame)
+        if self._write_hook is None or not self._write_hook(handle, frame):
+            handle.write(frame)
         handle.flush()
         self.records_appended += 1
         if self.fsync == "always":
