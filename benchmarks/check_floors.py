@@ -1,0 +1,70 @@
+"""Gate CI on the performance floors recorded in ``BENCH_*.json``.
+
+Every benchmark that pins a speedup or latency floor records the measured
+metric and the floor it enforced into ``extra_info`` (``speedup`` or
+``latency_reduction`` next to ``floor``).  This script re-checks each
+recorded pair so the JSON artifacts *gate* regressions instead of only
+being uploaded: a bench run whose floors were relaxed (smoke mode,
+single-core containers) records the relaxed floor, so the gate stays
+exactly as strict as the run that produced the artifact.
+
+Usage::
+
+    python benchmarks/check_floors.py BENCH_core.json BENCH_online.json ...
+
+Exits non-zero if any benchmark's metric fell below its recorded floor,
+or if an artifact contains no gated rows at all (a schema drift guard).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_METRICS = ("speedup", "latency_reduction")
+
+
+def check_file(path: str) -> tuple[int, int]:
+    """Return ``(rows_checked, violations)`` for one benchmark artifact."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    checked = violations = 0
+    for bench in payload.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        if "floor" not in extra:
+            continue
+        metric_name = next((m for m in _METRICS if m in extra), None)
+        if metric_name is None:
+            print(f"FAIL {path} :: {bench['name']}: floor without a metric")
+            violations += 1
+            continue
+        checked += 1
+        metric, floor = float(extra[metric_name]), float(extra["floor"])
+        status = "ok  " if metric >= floor else "FAIL"
+        print(
+            f"{status} {path} :: {bench['name']}: "
+            f"{metric_name} {metric:.2f} >= floor {floor:.2f}"
+        )
+        if metric < floor:
+            violations += 1
+    return checked, violations
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_floors.py BENCH_*.json", file=sys.stderr)
+        return 2
+    total_checked = total_violations = 0
+    for path in argv:
+        checked, violations = check_file(path)
+        if checked == 0:
+            print(f"FAIL {path}: no gated benchmark rows found")
+            total_violations += 1
+        total_checked += checked
+        total_violations += violations
+    print(f"{total_checked} floor(s) checked, {total_violations} violation(s)")
+    return 1 if total_violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -34,13 +34,14 @@ raw column vector via :attr:`CompiledFormulation.x_offsets`.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import ModelError
 from repro.lp.fastbuild import compile_coo, with_row_upper
 from repro.lp.model import CompiledModel
+from repro.lp.warmstart import ResolveSession
 
 __all__ = ["CompiledFormulation", "FormulationCompiler"]
 
@@ -68,6 +69,14 @@ class CompiledFormulation:
     rank and x column, and per x column its entry count (entries of one
     column are contiguous) — which the vectorized TAA estimator build
     reuses instead of re-walking paths.
+
+    ``session`` is the :class:`~repro.lp.warmstart.ResolveSession` owned by
+    the underlying cached structure: every formulation compiled from the
+    same (kind, integrality, request set) shares one session, so a caller
+    that routes its solve through it gets exact-repeat and certified-dual
+    reuse across rounds for free.  Solving through
+    :func:`~repro.lp.solvers.solve_compiled_raw` instead remains valid —
+    the session is an optional accelerator, never required state.
     """
 
     compiled: CompiledModel
@@ -79,6 +88,9 @@ class CompiledFormulation:
     entry_terms: np.ndarray
     entry_x_cols: np.ndarray
     entries_per_x: np.ndarray
+    session: ResolveSession | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_x(self) -> int:
@@ -98,6 +110,7 @@ class _Structure:
         "entries_per_x",
         "compiled",
         "choice_upper",
+        "session",
     )
 
     def __init__(self, **fields) -> None:
@@ -366,13 +379,22 @@ class FormulationCompiler:
             entries_per_x=entries_per_x,
             compiled=compiled,
             choice_upper=row_upper[:num_requests],
+            session=None,
         )
 
     def _formulation(
         self, structure: _Structure, rids: tuple, compiled: CompiledModel
     ) -> CompiledFormulation:
+        # One warm-start session per cached structure, created on first
+        # compile and living exactly as long as the structure-cache entry:
+        # every derivative model (``with_row_upper`` rewrites between
+        # rounds) anchors to the same matrix, so the session's reuse tiers
+        # apply across the whole shrink loop.
+        if structure.session is None:
+            structure.session = ResolveSession()
         return CompiledFormulation(
             compiled=compiled,
+            session=structure.session,
             request_ids=rids,
             x_offsets=structure.x_offsets,
             num_choice_rows=structure.num_choice_rows,

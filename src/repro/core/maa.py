@@ -33,7 +33,13 @@ from repro.lp.result import SolveStatus
 from repro.lp.solvers import solve_compiled_raw
 from repro.util.rng import ensure_rng
 
-__all__ = ["MAAResult", "solve_maa", "round_paths", "improve_paths"]
+__all__ = [
+    "MAAResult",
+    "solve_maa",
+    "round_paths",
+    "improve_paths",
+    "ImproveMemo",
+]
 
 #: Fractional bandwidth below this is treated as zero when computing alpha.
 _ALPHA_TOL = 1e-9
@@ -97,6 +103,7 @@ def solve_maa(
     time_limit: float | None = None,
     accept_feasible: bool = False,
     fast_path: bool = True,
+    warm_start: bool = False,
 ) -> MAAResult:
     """Run Algorithm 1 (MAA) on ``instance``.
 
@@ -113,6 +120,14 @@ def solve_maa(
     solution columns — bitwise identical to the expression-layer path
     (``fast_path=False``), which is kept as the equivalence oracle.
 
+    ``warm_start`` (fast path only) routes the relaxation solve through
+    the formulation's :class:`~repro.lp.warmstart.ResolveSession`: the
+    Metis inner loop re-solves the *identical* RL-SPM relaxation
+    ``maa_rounds`` times per round (only the rounding rng differs), so
+    every repeat after the first is answered from the session's
+    exact-repeat cache — with bitwise-identical solutions by the session's
+    certification rules.
+
     Raises :class:`~repro.exceptions.InfeasibleError` if the relaxation is
     infeasible (cannot happen on strongly connected topologies with
     unlimited purchasable bandwidth) and :class:`SolverError` on solver
@@ -122,7 +137,14 @@ def solve_maa(
         formulation = instance.formulation_compiler().compile_rl_spm(
             instance, integral=False
         )
-        solution = solve_compiled_raw(formulation.compiled, time_limit=time_limit)
+        if warm_start and formulation.session is not None:
+            solution = formulation.session.solve(
+                formulation.compiled, time_limit=time_limit
+            )
+        else:
+            solution = solve_compiled_raw(
+                formulation.compiled, time_limit=time_limit
+            )
     else:
         problem = build_rl_spm(instance, integral=False)
         solution = problem.model.solve(time_limit=time_limit)
@@ -157,11 +179,62 @@ def solve_maa(
     )
 
 
+class ImproveMemo:
+    """Cross-call static caches for :func:`improve_paths`.
+
+    Two things about a request never change between improve calls: the
+    sorted edge union of any (current, candidate) path pair — and where
+    each path's edges land inside it — and the union of *all* its
+    candidate-path edges (the only loads a re-evaluation of that request
+    can read).  Metis calls ``improve_paths`` ``maa_rounds * theta`` times
+    over shrinking subsets of one request population, so a memo shared
+    across those calls pays the ``np.unique``/``searchsorted`` cost once
+    per (request, path-pair) ever.
+
+    Passing a memo also switches on dirty-edge skipping *within* a call
+    (see :func:`improve_paths`).  A memo is only valid across instances
+    that share ``path_edges`` arrays by identity — exactly what
+    :meth:`~repro.core.instance.SPMInstance.restrict` chains guarantee;
+    never share one across unrelated instances.
+    """
+
+    __slots__ = ("_unions", "_touch")
+
+    def __init__(self) -> None:
+        self._unions: dict[tuple, tuple] = {}
+        self._touch: dict[int, np.ndarray] = {}
+
+    def union(self, instance: SPMInstance, rid: int, cur: int, cand: int):
+        """``(affected, cur_pos, cand_pos)`` for a path-pair evaluation."""
+        key = (rid, cur, cand)
+        entry = self._unions.get(key)
+        if entry is None:
+            cur_edges = instance.path_edges[rid][cur]
+            cand_edges = instance.path_edges[rid][cand]
+            affected = np.unique(np.concatenate([cur_edges, cand_edges]))
+            entry = (
+                affected,
+                np.searchsorted(affected, cur_edges),
+                np.searchsorted(affected, cand_edges),
+            )
+            self._unions[key] = entry
+        return entry
+
+    def touch_edges(self, instance: SPMInstance, rid: int) -> np.ndarray:
+        """Every edge any candidate path of ``rid`` can load."""
+        arr = self._touch.get(rid)
+        if arr is None:
+            arr = np.unique(np.concatenate(instance.path_edges[rid]))
+            self._touch[rid] = arr
+        return arr
+
+
 def improve_paths(
     instance: SPMInstance,
     assignment: dict[int, int | None],
     *,
     max_passes: int = 5,
+    memo: ImproveMemo | None = None,
 ) -> dict[int, int | None]:
     """Greedy path-reassignment descent on the charged-bandwidth cost.
 
@@ -171,8 +244,24 @@ def improve_paths(
     Loops until a fixpoint or ``max_passes`` full sweeps.  Returns a new
     assignment; the input is not mutated.
 
+    Candidate moves are evaluated *without mutating* the shared load
+    matrix: the affected rows are copied, the move applied to the copy in
+    the same operation order a real move uses, and the charged costs
+    compared.  Only an accepted move touches ``loads``.  Evaluations
+    therefore depend solely on the current loads of the request's own
+    candidate edges — which makes the following sound:
+
+    With a ``memo``, requests whose candidate-edge neighborhood has not
+    changed since their last evaluation are skipped.  A skipped request
+    would re-derive byte-for-byte the same deltas from byte-for-byte the
+    same loads and reach the same "no move" decision, so the descent
+    trajectory — every move, every sweep, the final assignment — is
+    identical to the exhaustive scan.  In the typical Metis profile the
+    final sweep is a full no-op, and dirty-skipping eliminates almost all
+    of it.
+
     Complexity is ``O(max_passes * K * L * h * T)`` where ``h`` bounds path
-    length — negligible next to the LP solve.
+    length — the dominant non-LP cost of the Metis inner loop.
     """
     if max_passes < 1:
         raise ValueError(f"max_passes must be >= 1, got {max_passes}")
@@ -186,36 +275,72 @@ def improve_paths(
             (prices[edge_indices] * np.ceil(peaks - 1e-9).clip(min=0)).sum()
         )
 
+    track = memo is not None
+    if track:
+        # Edge-modification clock: version[e] is the tick of the last move
+        # touching edge e; stamps[rid] is the clock when rid was last
+        # evaluated.  A request is clean iff none of its candidate edges
+        # moved since — its own accepted move bumps its edges, so a moved
+        # request always re-evaluates next sweep.
+        version = np.zeros(instance.num_edges, dtype=np.int64)
+        stamps: dict[int, int] = {}
+        tick = 0
+
     for _ in range(max_passes):
         changed = False
         for req in instance.requests:
-            current = assignment[req.request_id]
-            if current is None or instance.num_paths(req.request_id) < 2:
+            rid = req.request_id
+            current = assignment[rid]
+            if current is None or instance.num_paths(rid) < 2:
                 continue
+            if track:
+                stamp = stamps.get(rid)
+                if stamp is not None:
+                    touch = memo.touch_edges(instance, rid)
+                    if not touch.size or version[touch].max() <= stamp:
+                        continue
+                stamps[rid] = tick
             window = slice(req.start, req.end + 1)
-            cur_edges = instance.path_edges[req.request_id][current]
+            cur_edges = instance.path_edges[rid][current]
+            rate = req.rate
             best_path = current
             best_delta = -1e-12
-            for candidate in range(instance.num_paths(req.request_id)):
+            for candidate in range(instance.num_paths(rid)):
                 if candidate == current:
                     continue
-                new_edges = instance.path_edges[req.request_id][candidate]
-                affected = np.unique(np.concatenate([cur_edges, new_edges]))
+                if memo is not None:
+                    affected, cur_pos, cand_pos = memo.union(
+                        instance, rid, current, candidate
+                    )
+                else:
+                    cand_edges = instance.path_edges[rid][candidate]
+                    affected = np.unique(
+                        np.concatenate([cur_edges, cand_edges])
+                    )
+                    cur_pos = np.searchsorted(affected, cur_edges)
+                    cand_pos = np.searchsorted(affected, cand_edges)
                 before = cost_of(affected)
-                loads[cur_edges, window] -= req.rate
-                loads[new_edges, window] += req.rate
-                delta = cost_of(affected) - before
-                loads[cur_edges, window] += req.rate
-                loads[new_edges, window] -= req.rate
+                block = loads[affected]
+                block[cur_pos, window] -= rate
+                block[cand_pos, window] += rate
+                peaks = block.max(axis=1)
+                after = float(
+                    (prices[affected] * np.ceil(peaks - 1e-9).clip(min=0)).sum()
+                )
+                delta = after - before
                 if delta < best_delta:
                     best_delta = delta
                     best_path = candidate
             if best_path != current:
-                new_edges = instance.path_edges[req.request_id][best_path]
-                loads[cur_edges, window] -= req.rate
-                loads[new_edges, window] += req.rate
-                assignment[req.request_id] = best_path
+                new_edges = instance.path_edges[rid][best_path]
+                loads[cur_edges, window] -= rate
+                loads[new_edges, window] += rate
+                assignment[rid] = best_path
                 changed = True
+                if track:
+                    tick += 1
+                    version[cur_edges] = tick
+                    version[new_edges] = tick
         if not changed:
             break
     return assignment

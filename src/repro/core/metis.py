@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.instance import SPMInstance
-from repro.core.maa import improve_paths, solve_maa
+from repro.core.maa import ImproveMemo, improve_paths, solve_maa
 from repro.core.schedule import Schedule
 from repro.core.taa import solve_taa
 from repro.util.rng import ensure_rng
@@ -257,6 +257,16 @@ class Metis:
     estimator; the outcome is bit-identical to the expression-layer
     reference (``fast_path=False``), which is kept as the equivalence
     oracle.
+
+    ``warm_start`` (default, fast path only) reuses work across the
+    alternation's structurally-identical re-solves: RL/BL relaxations go
+    through per-structure :class:`~repro.lp.warmstart.ResolveSession`
+    caches (exact repeats and certified-dual capacity shrinks skip the
+    solver), and the local-search descent shares an
+    :class:`~repro.core.maa.ImproveMemo` so unchanged requests are never
+    re-evaluated.  Both reuse tiers are certified, so the outcome is
+    bit-identical to ``warm_start=False`` — the cold path is kept as the
+    equivalence oracle and the performance baseline.
     """
 
     def __init__(
@@ -270,6 +280,7 @@ class Metis:
         time_limit: float | None = None,
         accept_feasible: bool = False,
         fast_path: bool = True,
+        warm_start: bool = True,
     ) -> None:
         if theta < 1:
             raise ValueError(f"theta must be >= 1, got {theta}")
@@ -285,9 +296,13 @@ class Metis:
         self.time_limit = time_limit
         self.accept_feasible = accept_feasible
         self.fast_path = fast_path
+        self.warm_start = warm_start and fast_path
 
     def _best_maa_schedule(
-        self, instance: SPMInstance, rng: np.random.Generator
+        self,
+        instance: SPMInstance,
+        rng: np.random.Generator,
+        memo: ImproveMemo | None,
     ) -> Schedule:
         best: Schedule | None = None
         for _ in range(self.maa_rounds):
@@ -297,9 +312,12 @@ class Metis:
                 time_limit=self.time_limit,
                 accept_feasible=self.accept_feasible,
                 fast_path=self.fast_path,
+                warm_start=self.warm_start,
             ).schedule
             if self.local_search:
-                improved = improve_paths(instance, candidate.assignment)
+                improved = improve_paths(
+                    instance, candidate.assignment, memo=memo
+                )
                 candidate = Schedule(instance, improved)
             if best is None or candidate.cost < best.cost:
                 best = candidate
@@ -320,6 +338,10 @@ class Metis:
         gen = ensure_rng(rng)
         best = MetisRecord(profit=0.0, schedule=None, source="init")
         rounds: list[MetisRound] = []
+        # One improve-memo per solve: every restricted instance in the
+        # alternation shares the parent's path_edges arrays, which is the
+        # memo's validity condition.
+        memo = ImproveMemo() if self.warm_start and self.local_search else None
 
         def offer(candidate: Schedule, source: str, round_index: int) -> Schedule:
             """SP Updater: record ``candidate`` (and its pruning) if better.
@@ -351,7 +373,7 @@ class Metis:
             return MetisOutcome(best=best, rounds=rounds, initial_profit=0.0)
 
         # Initialization: accept every request, schedule with MAA.
-        schedule = self._best_maa_schedule(instance, gen)
+        schedule = self._best_maa_schedule(instance, gen, memo)
         initial_profit = schedule.profit
         schedule = offer(schedule, "maa", 0)
         capacities = {key: int(units) for key, units in schedule.charged.items()}
@@ -371,6 +393,7 @@ class Metis:
                 time_limit=self.time_limit,
                 accept_feasible=self.accept_feasible,
                 fast_path=self.fast_path,
+                warm_start=self.warm_start,
             )
             taa_profit = taa.schedule.profit
             offer(taa.schedule, "taa", round_index)
@@ -379,7 +402,7 @@ class Metis:
             maa_profit: float | None = None
             if accepted:
                 current = current.restrict(accepted)
-                schedule = self._best_maa_schedule(current, gen)
+                schedule = self._best_maa_schedule(current, gen, memo)
                 maa_profit = schedule.profit
                 schedule = offer(schedule, "maa", round_index)
                 if self.prune and schedule.declined_ids:

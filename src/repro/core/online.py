@@ -48,6 +48,7 @@ from repro.lp.fastbuild import compile_coo
 from repro.lp.model import CompiledModel, Model
 from repro.lp.result import SolveStatus
 from repro.lp.solvers import solve_compiled_raw
+from repro.lp.warmstart import relax
 
 __all__ = [
     "OnlineOutcome",
@@ -285,12 +286,18 @@ class BatchDecision:
 
     ``suboptimal`` flags a decision read from a limit-hit incumbent
     (status ``FEASIBLE``): still a valid, capacity-respecting decision,
-    just without an optimality certificate.
+    just without an optimality certificate.  ``screened`` marks a batch
+    decided by the LP bound alone (see :func:`solve_batch`'s
+    ``lp_screen``): the relaxation proved no acceptance can beat
+    declining everything, so the all-decline decision carries a full
+    optimality certificate without an integer solve — status ``OPTIMAL``,
+    cacheable like any exact decision.
     """
 
     choices: tuple
     status: SolveStatus
     objective: float
+    screened: bool = False
 
     @property
     def suboptimal(self) -> bool:
@@ -307,6 +314,7 @@ def solve_batch(
     check_cancelled=None,
     accept_feasible: bool = True,
     fast_path: bool = True,
+    lp_screen: bool = False,
 ) -> BatchDecision:
     """Decide one arrival batch; the full-provenance form of :func:`decide_batch`.
 
@@ -317,6 +325,18 @@ def solve_batch(
     incumbent returns it as a valid (possibly suboptimal) decision; set it
     ``False`` for strict raise-on-non-optimal semantics.
 
+    ``lp_screen`` (fast path only) solves the batch model's LP relaxation
+    first and skips the integer solve when its bound certifies that no
+    acceptance can be profitable.  The screen is *sound*, never
+    heuristic: declining everything is always feasible at objective 0
+    (the capacity rows' headroom is non-negative by the charged-units
+    invariant), so the MILP optimum is ``>= 0``; the relaxation optimum
+    is an upper bound on it; hence a relaxation bound ``<= 0`` pins the
+    MILP optimum to exactly 0 and all-decline is optimal.  A bound above
+    0 falls through to the normal integer solve — screening never changes
+    a decision's objective, only the price paid for hopeless batches
+    (the relaxation solves in a fraction of the MILP's time).
+
     Raises :class:`~repro.exceptions.SolverTimeoutError` when the limit is
     hit with no usable incumbent, so callers (the broker) can decline the
     batch instead of crashing.
@@ -325,6 +345,19 @@ def solve_batch(
         compiled, x_offsets = instance.batch_compiler().compile_batch(
             batch_ids, committed_loads, charged
         )
+        if lp_screen:
+            bound = solve_compiled_raw(
+                relax(compiled),
+                time_limit=time_limit,
+                check_cancelled=check_cancelled,
+            )
+            if bound.status is SolveStatus.OPTIMAL and bound.objective <= 0.0:
+                return BatchDecision(
+                    choices=(None,) * len(batch_ids),
+                    status=SolveStatus.OPTIMAL,
+                    objective=0.0,
+                    screened=True,
+                )
         raw = solve_compiled_raw(
             compiled, time_limit=time_limit, check_cancelled=check_cancelled
         )
@@ -391,11 +424,13 @@ def decide_batch(
     check_cancelled=None,
     accept_feasible: bool = True,
     fast_path: bool = True,
+    lp_screen: bool = False,
 ) -> list[int | None]:
     """Decide one arrival batch; chosen path index (or ``None``) per position.
 
     Thin list-returning wrapper over :func:`solve_batch` (same keyword
-    semantics).  State arrays are not mutated — apply the returned decision
+    semantics, including the sound ``lp_screen`` relaxation-bound skip).
+    State arrays are not mutated — apply the returned decision
     with :func:`commit_decision`.  The pure state-in/decision-out shape is
     what lets :mod:`repro.service` cache decisions and ship them across
     solver worker processes.
@@ -409,6 +444,7 @@ def decide_batch(
         check_cancelled=check_cancelled,
         accept_feasible=accept_feasible,
         fast_path=fast_path,
+        lp_screen=lp_screen,
     )
     return list(decision.choices)
 
@@ -470,14 +506,22 @@ class OnlineScheduler:
     exists and raises :class:`~repro.exceptions.SolverTimeoutError`
     otherwise, rather than guessing.  ``fast_path`` selects the
     array-native model build (default; decision-identical to the
-    expression build).
+    expression build).  ``lp_screen`` enables the sound relaxation-bound
+    skip of :func:`solve_batch` for every batch; ``screened_batches``
+    counts how many batches it answered.
     """
 
     def __init__(
-        self, *, time_limit: float | None = 60.0, fast_path: bool = True
+        self,
+        *,
+        time_limit: float | None = 60.0,
+        fast_path: bool = True,
+        lp_screen: bool = False,
     ) -> None:
         self.time_limit = time_limit
         self.fast_path = fast_path
+        self.lp_screen = lp_screen
+        self.screened_batches = 0
 
     def run(self, instance: SPMInstance) -> OnlineOutcome:
         """Process every arrival batch in slot order and return the outcome."""
@@ -510,13 +554,17 @@ class OnlineScheduler:
         charged: np.ndarray,
         assignment: dict[int, int | None],
     ) -> int:
-        decision = decide_batch(
+        outcome = solve_batch(
             instance,
             batch,
             committed_loads,
             charged,
             time_limit=self.time_limit,
             fast_path=self.fast_path,
+            lp_screen=self.lp_screen,
         )
+        if outcome.screened:
+            self.screened_batches += 1
+        decision = list(outcome.choices)
         assignment.update(zip(batch, decision))
         return commit_decision(instance, batch, decision, committed_loads, charged)

@@ -112,6 +112,7 @@ def solve_taa(
     time_limit: float | None = None,
     accept_feasible: bool = False,
     fast_path: bool = True,
+    warm_start: bool = False,
 ) -> TAAResult:
     """Run Algorithm 2 (TAA) on ``instance`` under ``capacities``.
 
@@ -129,6 +130,14 @@ def solve_taa(
     pessimistic estimator is built and walked by the vectorized kernel —
     both bitwise identical to the expression-layer/reference path
     (``fast_path=False``), which is kept as the equivalence oracle.
+
+    ``warm_start`` (fast path only) routes the relaxation solve through
+    the formulation's :class:`~repro.lp.warmstart.ResolveSession`.  The
+    Metis shrink loop re-solves BL-SPM over the same request set with only
+    capacity right-hand sides moving, so shrinks that the previous
+    optimum's dual certificate covers (slack rows with zero duals) skip
+    the solver dispatch entirely — with bitwise-identical solutions by the
+    session's certification rules.
     """
     for key in instance.edges:
         cap = capacities.get(key)
@@ -160,7 +169,14 @@ def solve_taa(
         formulation = instance.formulation_compiler().compile_bl_spm(
             instance, capacities, integral=False
         )
-        solution = solve_compiled_raw(formulation.compiled, time_limit=time_limit)
+        if warm_start and formulation.session is not None:
+            solution = formulation.session.solve(
+                formulation.compiled, time_limit=time_limit
+            )
+        else:
+            solution = solve_compiled_raw(
+                formulation.compiled, time_limit=time_limit
+            )
     else:
         problem = build_bl_spm(instance, capacities, integral=False)
         solution = problem.model.solve(time_limit=time_limit)

@@ -290,6 +290,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="decision-cache entries (0 disables)",
     )
     parser.add_argument(
+        "--lp-screen",
+        action="store_true",
+        help=(
+            "screen each exact batch MILP with its LP relaxation bound: "
+            "provably hopeless batches are declined without an integer "
+            "solve (decisions unchanged)"
+        ),
+    )
+    parser.add_argument(
         "--max-batch",
         type=int,
         default=None,
@@ -424,6 +433,7 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             workers=args.workers,
             cache_size=args.cache_size,
+            lp_screen=args.lp_screen,
             max_batch=args.max_batch,
             queue_capacity=args.queue_capacity,
             time_limit=(
@@ -504,7 +514,13 @@ def run_serve(argv: Sequence[str] | None = None) -> int:
         print(
             f"shards {summary['num_shards']} ({args.partition}): "
             f"{summary['ledger_price_iterations']} price iteration(s), "
-            f"{summary['reconciliation_evictions']} eviction(s)"
+            f"{summary['reconciliation_evictions']} eviction(s), "
+            f"concurrency {summary['shard_concurrency']}"
+        )
+    if args.lp_screen:
+        print(
+            f"warm start: {summary['screened_batches']} batch(es) screened "
+            f"by LP bound, {summary['warm_start_hits']} session hit(s)"
         )
     if args.cycle_budget is not None or args.breaker_failures:
         rungs = summary.get("rung_counts", {})

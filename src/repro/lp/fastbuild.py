@@ -43,6 +43,15 @@ def with_row_upper(
     returned model aliases them.  This is the cheap between-rounds update
     for formulations whose varying state enters solely through right-hand
     sides (the Metis BL-SPM re-solves under shrinking capacities).
+
+    The parent's solver-side row-split cache (stacked ``A_ub``/``A_eq``
+    and finite-bound masks, see :class:`~repro.lp.model.CompiledModel`)
+    rides along through ``dataclasses.replace``: the split depends only on
+    which bounds are finite/equal, so the derived model's first solve
+    skips the mask computation and sparse re-stacking entirely.  The
+    solver still validates the masks against the new values before
+    trusting the cache, so a rewrite that *does* change the partition
+    (e.g. a bound pushed to infinity) falls back to a fresh split.
     """
     row_upper = np.asarray(row_upper, dtype=float)
     if row_upper.size != compiled.row_upper.size:
@@ -64,7 +73,8 @@ def with_objective(
     cheap between-rounds update for formulations whose varying state
     enters solely through objective coefficients (the Lagrangian price
     iteration of :mod:`repro.decomp` re-solves each shard's SPM under
-    shifted link prices).
+    shifted link prices).  As with :func:`with_row_upper`, the parent's
+    row-split cache is inherited — the split never depends on ``c``.
     """
     objective = np.asarray(objective, dtype=float)
     if objective.size != compiled.c.size:

@@ -10,7 +10,7 @@ its LP relaxation — the first step of both MAA and TAA.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import sparse
@@ -30,6 +30,16 @@ class CompiledModel:
     ``sign`` is +1 for minimization models and -1 for maximization (the
     objective vector ``c`` is already negated for maximization so the solver
     always minimizes); reported objectives are multiplied back by ``sign``.
+
+    ``split_cache`` holds the solver-side row-split structure (the
+    equality/upper/lower partition and the stacked ``A_ub``/``A_eq``
+    matrices scipy's linprog consumes), computed lazily by
+    :mod:`repro.lp.solvers` on first solve.  The partition depends only on
+    which row bounds are finite/equal — invariant under the row-*value*
+    rewrites of :func:`repro.lp.fastbuild.with_row_upper` — so
+    ``dataclasses.replace`` derivatives inherit it and the per-round
+    re-solves skip the split entirely (it is still validated against the
+    current bound masks before reuse).
     """
 
     variables: list[Variable]
@@ -42,6 +52,7 @@ class CompiledModel:
     integrality: np.ndarray
     sign: float
     objective_constant: float = 0.0
+    split_cache: object = field(default=None, repr=False, compare=False)
 
 
 class Model:

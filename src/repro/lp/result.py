@@ -73,11 +73,18 @@ class RawSolution:
     consumers index it directly.  Used by the fast compilation path
     (:mod:`repro.lp.fastbuild`), whose compiled models carry no symbolic
     :class:`~repro.lp.expr.Variable` objects to key a ``values`` dict with.
+
+    ``upper_duals`` (LP path only, on request) holds one dual value per
+    *original* model row for its upper-bound side — equality rows carry
+    their equality dual, rows with no finite upper bound carry 0.  The
+    warm-start layer (:mod:`repro.lp.warmstart`) uses them to certify that
+    a right-hand-side change cannot move the optimum.
     """
 
     status: SolveStatus
     objective: float
     x: np.ndarray | None = None
+    upper_duals: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_optimal(self) -> bool:

@@ -25,9 +25,9 @@ import numpy as np
 
 from repro.exceptions import SolverError
 from repro.lp.model import CompiledModel, Model
-from repro.lp.result import Solution, SolveStatus
+from repro.lp.result import RawSolution, Solution, SolveStatus
 
-__all__ = ["simplex_solve", "simplex_solve_model"]
+__all__ = ["simplex_solve", "simplex_solve_model", "WarmSimplex"]
 
 _EPS = 1e-9
 #: Entering threshold: a column must price out this negative to pivot in.
@@ -67,13 +67,13 @@ def _to_standard_form(compiled: CompiledModel):
     Returns ``(c, rows, b)`` where ``rows`` is a list of
     ``(coefficients, sense)`` with sense in {-1: <=, 0: ==, +1: >=}.
     """
-    n = len(compiled.variables)
-    for var in compiled.variables:
-        if var.lower != 0.0:
-            raise SolverError(
-                f"simplex backend requires lower bound 0, variable "
-                f"{var.name!r} has {var.lower}"
-            )
+    n = compiled.c.size
+    bad = np.flatnonzero(np.asarray(compiled.var_lower) != 0.0)
+    if bad.size:
+        raise SolverError(
+            f"simplex backend requires lower bound 0, column "
+            f"{int(bad[0])} has {float(compiled.var_lower[bad[0]])}"
+        )
     dense = compiled.a_matrix.toarray()
     rows: list[np.ndarray] = []
     senses: list[int] = []
@@ -93,13 +93,13 @@ def _to_standard_form(compiled: CompiledModel):
             rows.append(dense[i])
             senses.append(1)
             b.append(float(lower))
-    for var in compiled.variables:
-        if math.isfinite(var.upper):
+    for col in range(n):
+        if math.isfinite(compiled.var_upper[col]):
             row = np.zeros(n)
-            row[var.index] = 1.0
+            row[col] = 1.0
             rows.append(row)
             senses.append(-1)
-            b.append(float(var.upper))
+            b.append(float(compiled.var_upper[col]))
     return (
         compiled.c.astype(float),
         list(zip(rows, senses)),
@@ -230,3 +230,189 @@ def _pivot(tableau, rhs, basis, row, col) -> None:
             tableau[i] -= factor * tableau[row]
             rhs[i] -= factor * rhs[row]
     basis[row] = col
+
+
+class WarmSimplex:
+    """Dual-simplex re-solves of one LP structure under moving row bounds.
+
+    The in-tree warm-start path: the first ``solve_raw`` runs the cold
+    two-phase simplex and captures the oriented standard-form matrix and
+    the optimal basis.  Later solves of the *same structure* (same
+    constraint matrix and column bounds, changed ``row_lower`` /
+    ``row_upper`` values) rebuild only the right-hand side, refactorize the
+    stored basis, and run dual-simplex pivots from it: the basis stays dual
+    feasible when ``b`` moves (reduced costs never involve ``b``), so the
+    re-solve needs exactly as many pivots as the bound change displaced the
+    optimum — typically zero for the slack-row tightenings of the Metis
+    shrink loop.
+
+    Like the cold backend this exists for *verification*, not speed: the
+    equivalence suites cross-check :class:`~repro.lp.warmstart.ResolveSession`
+    certificates against it on small LPs.  Dense, O(rows²·cols) per warm
+    re-solve.
+    """
+
+    def __init__(self) -> None:
+        self.cold_solves = 0
+        self.warm_resolves = 0
+        self.dual_pivots = 0
+        self._structure: tuple | None = None
+        self._state: tuple | None = None  # (a_std, orient, costs, basis)
+
+    def solve_raw(self, compiled: CompiledModel) -> RawSolution:
+        """Solve ``compiled`` (LP relaxation), warm when the basis is reusable."""
+        structure = (
+            id(compiled.a_matrix),
+            id(compiled.var_lower),
+            id(compiled.var_upper),
+        )
+        if structure != self._structure:
+            self._structure = structure
+            self._state = None
+        if self._state is not None:
+            warm = self._resolve(compiled)
+            if warm is not None:
+                self.warm_resolves += 1
+                return warm
+        return self._cold(compiled)
+
+    # ---------------------------------------------------------------- cold
+
+    def _cold(self, compiled: CompiledModel) -> RawSolution:
+        self.cold_solves += 1
+        self._state = None
+        c, a_rows, b = _to_standard_form(compiled)
+        n = c.size
+        m = len(a_rows)
+        if m == 0:
+            if np.any(c < -_EPS):
+                return RawSolution(SolveStatus.UNBOUNDED, math.nan)
+            x = np.zeros(n)
+            return RawSolution(
+                SolveStatus.OPTIMAL,
+                compiled.sign * 0.0 + compiled.objective_constant,
+                x,
+            )
+
+        # Orient rows so the cold phase-1 sees b >= 0; the orientation is a
+        # row scaling, so it stays valid for every later right-hand side.
+        orient = np.where(b < 0, -1.0, 1.0)
+        senses = np.array([s for _, s in a_rows], dtype=int)
+        senses = np.where(orient < 0, -senses, senses)
+        rows = np.array([row for row, _ in a_rows]) * orient[:, None]
+        rhs = b * orient
+
+        slack_count = int(np.sum(senses != 0))
+        art_needed = senses != -1
+        art_count = int(np.sum(art_needed))
+        total = n + slack_count + art_count
+
+        a_std = np.zeros((m, total))
+        a_std[:, :n] = rows
+        basis = np.empty(m, dtype=int)
+        slack_idx, art_idx = n, n + slack_count
+        for i in range(m):
+            if senses[i] == -1:
+                a_std[i, slack_idx] = 1.0
+                basis[i] = slack_idx
+                slack_idx += 1
+            elif senses[i] == 1:
+                a_std[i, slack_idx] = -1.0
+                slack_idx += 1
+            if senses[i] != -1:
+                a_std[i, art_idx] = 1.0
+                basis[i] = art_idx
+                art_idx += 1
+
+        tableau = a_std.copy()
+        rhs = rhs.astype(float)
+        if art_count:
+            phase1_c = np.zeros(total)
+            phase1_c[n + slack_count:] = 1.0
+            status = _optimize(tableau, rhs, basis, phase1_c)
+            if status is not SolveStatus.OPTIMAL:
+                raise SolverError("phase-1 simplex failed to terminate")
+            if phase1_c[basis] @ rhs > 1e-7:
+                return RawSolution(SolveStatus.INFEASIBLE, math.nan)
+            for i in range(m):
+                if basis[i] >= n + slack_count:
+                    pivot_col = next(
+                        (
+                            j
+                            for j in range(n + slack_count)
+                            if abs(tableau[i, j]) > _EPS
+                        ),
+                        None,
+                    )
+                    if pivot_col is not None:
+                        _pivot(tableau, rhs, basis, i, pivot_col)
+            tableau[:, n + slack_count:] = 0.0
+
+        costs = np.zeros(total)
+        costs[:n] = c
+        status = _optimize(tableau, rhs, basis, costs)
+        if status is not SolveStatus.OPTIMAL:
+            return RawSolution(status, math.nan)
+
+        x = np.zeros(total)
+        x[basis] = rhs
+        solution = RawSolution(
+            SolveStatus.OPTIMAL,
+            compiled.sign * float(c @ x[:n]) + compiled.objective_constant,
+            x[:n],
+        )
+        # An artificial stuck in the basis (degenerate) is not a reusable
+        # starting point; simply skip capturing and stay cold next time.
+        if not np.any(basis >= n + slack_count):
+            self._state = (a_std, orient, costs, basis.copy(), n, slack_count)
+        return solution
+
+    # ---------------------------------------------------------------- warm
+
+    def _resolve(self, compiled: CompiledModel) -> RawSolution | None:
+        a_std, orient, costs, basis, n, slack_count = self._state
+        _, _, b = _to_standard_form(compiled)
+        if b.size != orient.size:
+            return None
+        b_std = b * orient
+        basis = basis.copy()
+        basis_matrix = a_std[:, basis]
+        try:
+            rhs = np.linalg.solve(basis_matrix, b_std)
+            tableau = np.linalg.solve(basis_matrix, a_std)
+        except np.linalg.LinAlgError:
+            return None
+        tableau[:, n + slack_count:] = 0.0  # artificials stay frozen
+
+        for _ in range(_MAX_PIVOTS):
+            negative = np.flatnonzero(rhs < -_EPS)
+            if negative.size == 0:
+                x = np.zeros(a_std.shape[1])
+                x[basis] = rhs
+                self._state = (a_std, orient, costs, basis, n, slack_count)
+                c = costs[:n]
+                return RawSolution(
+                    SolveStatus.OPTIMAL,
+                    compiled.sign * float(c @ x[:n])
+                    + compiled.objective_constant,
+                    x[:n],
+                )
+            # Bland-flavored leaving choice: most negative rhs, ties by
+            # smallest basis variable index.
+            leaving = min(negative, key=lambda i: (rhs[i], basis[i]))
+            row = tableau[leaving]
+            reduced = costs - costs[basis] @ tableau
+            candidates = [
+                j
+                for j in range(n + slack_count)
+                if row[j] < -_EPS
+            ]
+            if not candidates:
+                return RawSolution(SolveStatus.INFEASIBLE, math.nan)
+            entering = min(
+                candidates,
+                key=lambda j: (max(reduced[j], 0.0) / -row[j], j),
+            )
+            _pivot(tableau, rhs, basis, leaving, entering)
+            self.dual_pivots += 1
+        raise SolverError(f"dual simplex exceeded {_MAX_PIVOTS} pivots")

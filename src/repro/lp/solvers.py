@@ -122,43 +122,107 @@ def _finish(compiled: CompiledModel, result) -> RawSolution:
     )
 
 
+class _RowSplit:
+    """The linprog-side standard-form split of one constraint structure.
+
+    scipy's ``linprog`` wants ``A_ub x <= b_ub`` and ``A_eq x == b_eq``,
+    so every solve must partition the model's ranged rows into equality /
+    finite-upper / finite-lower sets and stack the (negated-lower) pieces.
+    The partition and the stacked matrices depend only on *which* bounds
+    are finite or equal, never on their values, so they are computed once
+    and cached on the :class:`CompiledModel` (and inherited by its
+    ``with_row_upper`` / ``with_objective`` derivatives).  ``validate``
+    re-derives the cheap boolean masks per solve and rejects the cache if
+    a bound rewrite ever changed the partition.
+
+    The per-solve leftovers are pure takes: ``b_ub``/``b_eq`` gather the
+    current bound values through the precomputed index arrays, in exactly
+    the order the unsplit path concatenated them, so the solver sees
+    bitwise-identical inputs.
+    """
+
+    __slots__ = (
+        "finite_eq", "rows_ub", "rows_lb", "eq_idx", "ub_idx", "lb_idx",
+        "a_ub", "a_eq", "bounds", "num_ub",
+    )
+
+    def __init__(self, compiled: CompiledModel) -> None:
+        finite_eq = compiled.row_lower == compiled.row_upper
+        rows_ub = ~finite_eq & np.isfinite(compiled.row_upper)
+        rows_lb = ~finite_eq & np.isfinite(compiled.row_lower)
+        self.finite_eq = finite_eq
+        self.rows_ub = rows_ub
+        self.rows_lb = rows_lb
+        self.eq_idx = np.flatnonzero(finite_eq)
+        self.ub_idx = np.flatnonzero(rows_ub)
+        self.lb_idx = np.flatnonzero(rows_lb)
+        self.num_ub = self.ub_idx.size
+        a_matrix = compiled.a_matrix
+        a_ub_parts = []
+        if self.ub_idx.size:
+            a_ub_parts.append(a_matrix[rows_ub])
+        if self.lb_idx.size:
+            a_ub_parts.append(-a_matrix[rows_lb])
+        self.a_ub = sparse.vstack(a_ub_parts).tocsr() if a_ub_parts else None
+        self.a_eq = a_matrix[finite_eq] if self.eq_idx.size else None
+        self.bounds = np.column_stack((compiled.var_lower, compiled.var_upper))
+
+    def validate(self, compiled: CompiledModel) -> bool:
+        finite_eq = compiled.row_lower == compiled.row_upper
+        if not np.array_equal(finite_eq, self.finite_eq):
+            return False
+        return np.array_equal(
+            ~finite_eq & np.isfinite(compiled.row_upper), self.rows_ub
+        ) and np.array_equal(
+            ~finite_eq & np.isfinite(compiled.row_lower), self.rows_lb
+        )
+
+
+def _row_split(compiled: CompiledModel) -> _RowSplit:
+    split = compiled.split_cache
+    if isinstance(split, _RowSplit) and split.validate(compiled):
+        return split
+    split = _RowSplit(compiled)
+    compiled.split_cache = split
+    return split
+
+
 def _solve_linprog(
-    compiled: CompiledModel, *, time_limit: float | None = None
+    compiled: CompiledModel,
+    *,
+    time_limit: float | None = None,
+    duals: bool = False,
 ) -> RawSolution:
-    finite_eq = compiled.row_lower == compiled.row_upper
-    a_matrix = compiled.a_matrix
+    split = _row_split(compiled)
 
-    rows_ub = ~finite_eq & np.isfinite(compiled.row_upper)
-    rows_lb = ~finite_eq & np.isfinite(compiled.row_lower)
-
-    a_ub_parts, b_ub_parts = [], []
-    if rows_ub.any():
-        a_ub_parts.append(a_matrix[rows_ub])
-        b_ub_parts.append(compiled.row_upper[rows_ub])
-    if rows_lb.any():
-        a_ub_parts.append(-a_matrix[rows_lb])
-        b_ub_parts.append(-compiled.row_lower[rows_lb])
-
-    a_ub = sparse.vstack(a_ub_parts).tocsr() if a_ub_parts else None
+    b_ub_parts = []
+    if split.ub_idx.size:
+        b_ub_parts.append(compiled.row_upper[split.rows_ub])
+    if split.lb_idx.size:
+        b_ub_parts.append(-compiled.row_lower[split.rows_lb])
     b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
-    a_eq = a_matrix[finite_eq] if finite_eq.any() else None
-    b_eq = compiled.row_upper[finite_eq] if finite_eq.any() else None
+    b_eq = compiled.row_upper[split.finite_eq] if split.eq_idx.size else None
 
-    bounds = [
-        (lo if np.isfinite(lo) else None, hi if np.isfinite(hi) else None)
-        for lo, hi in zip(compiled.var_lower, compiled.var_upper)
-    ]
     result = optimize.linprog(
         compiled.c,
-        A_ub=a_ub,
+        A_ub=split.a_ub,
         b_ub=b_ub,
-        A_eq=a_eq,
+        A_eq=split.a_eq,
         b_eq=b_eq,
-        bounds=bounds,
+        bounds=split.bounds,
         method="highs",
         options=None if time_limit is None else {"time_limit": float(time_limit)},
     )
-    return _finish(compiled, result)
+    solution = _finish(compiled, result)
+    if duals and solution.x is not None:
+        upper_duals = np.zeros(compiled.row_upper.size)
+        if split.eq_idx.size:
+            upper_duals[split.eq_idx] = np.asarray(result.eqlin.marginals)
+        if split.ub_idx.size:
+            marginals = np.asarray(result.ineqlin.marginals)
+            upper_duals[split.ub_idx] = marginals[: split.num_ub]
+        solution.upper_duals = upper_duals
+    return solution
 
 
 def _solve_milp(

@@ -74,6 +74,10 @@ class LadderDecision:
     suboptimal: bool = False
     cacheable: bool = False
     objective: float | None = None
+    #: The exact rung answered from the LP relaxation bound alone (a sound
+    #: certificate — see ``lp_screen`` in :func:`repro.core.online.solve_batch`);
+    #: the decision is still certified-optimal and cacheable.
+    screened: bool = False
 
 
 def _density_order(instance: SPMInstance, batch_ids: list[int]) -> list[int]:
@@ -242,12 +246,16 @@ class DegradationLadder:
         breaker: CircuitBreaker | None = None,
         time_limit: float | None = None,
         fast_path: bool = True,
+        lp_screen: bool = False,
     ) -> None:
         self.budget = budget
         self.breaker = breaker
         self.time_limit = time_limit
         self.fast_path = fast_path
+        self.lp_screen = lp_screen
         self.counts: dict[str, int] = dict.fromkeys(RUNGS, 0)
+        #: Exact-rung decisions answered by the LP screen alone.
+        self.screened = 0
 
     def _count(self, rung: str) -> None:
         self.counts[rung] = self.counts.get(rung, 0) + 1
@@ -303,6 +311,7 @@ class DegradationLadder:
                     check_cancelled=check_cancelled,
                     accept_feasible=True,
                     fast_path=self.fast_path,
+                    lp_screen=self.lp_screen,
                 )
             except SolverTimeoutError:
                 if self.breaker is not None:
@@ -315,12 +324,15 @@ class DegradationLadder:
                 exact = decided.status is SolveStatus.OPTIMAL
                 rung = "exact" if exact else "incumbent"
                 self._count(rung)
+                if decided.screened:
+                    self.screened += 1
                 return LadderDecision(
                     choices=decided.choices,
                     rung=rung,
                     suboptimal=decided.suboptimal,
                     cacheable=exact,
                     objective=decided.objective,
+                    screened=decided.screened,
                 )
 
         if rung_at <= RUNGS.index("lp_round") and (

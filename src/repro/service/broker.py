@@ -112,7 +112,10 @@ class BrokerConfig:
     ``max_batch`` bound the admission queue and per-MILP batch size
     (``None`` = unbounded).  ``fast_path`` selects the array-native batch
     model build (default; decision-identical to the expression build,
-    kept as the reference).
+    kept as the reference).  ``lp_screen`` enables the LP relaxation-bound
+    screen for exact batch solves (:func:`repro.core.online.solve_batch`):
+    hopeless batches are declined with a certificate instead of paying
+    for an integer solve — decisions and profit are unchanged.
 
     Durability (see :mod:`repro.state`): setting ``wal_path`` makes the
     broker journal every admission decision and cycle commit to a
@@ -152,6 +155,7 @@ class BrokerConfig:
     queue_capacity: int | None = None
     max_batch: int | None = None
     fast_path: bool = True
+    lp_screen: bool = False
     wal_path: str | Path | None = None
     snapshot_every: int = 1
     fsync: str = "batch"
@@ -244,6 +248,7 @@ def run_cycle(
     max_batch: int | None = None,
     check_cancelled=None,
     fast_path: bool = True,
+    lp_screen: bool = False,
     on_batch=None,
     clock=None,
     instance: SPMInstance | None = None,
@@ -300,7 +305,10 @@ def run_cycle(
     if ladder is None and budget is not None:
         budget.restart()
         ladder = DegradationLadder(
-            budget=budget, time_limit=time_limit, fast_path=fast_path
+            budget=budget,
+            time_limit=time_limit,
+            fast_path=fast_path,
+            lp_screen=lp_screen,
         )
     if instance is None:
         instance = SPMInstance.build(topology, requests, k_paths=k_paths)
@@ -343,6 +351,7 @@ def run_cycle(
             hit = False
             timed_out = False
             suboptimal = False
+            screened = False
             rung = "cache"
             key = None
             if cache is not None:
@@ -362,6 +371,7 @@ def run_cycle(
                 decision = list(outcome.choices)
                 timed_out = outcome.timed_out
                 suboptimal = outcome.suboptimal
+                screened = outcome.screened
                 rung = outcome.rung
                 if cache is not None and outcome.cacheable:
                     cache.put(key, decision)
@@ -376,6 +386,7 @@ def run_cycle(
                         time_limit=time_limit,
                         check_cancelled=check_cancelled,
                         fast_path=fast_path,
+                        lp_screen=lp_screen,
                     )
                 except SolverTimeoutError:
                     # No incumbent within the limit: decline the batch and
@@ -385,6 +396,7 @@ def run_cycle(
                 else:
                     decision = list(outcome.choices)
                     suboptimal = outcome.suboptimal
+                    screened = outcome.screened
                     if cache is not None and outcome.status is SolveStatus.OPTIMAL:
                         cache.put(key, decision)
             solver_seconds = time.perf_counter() - solver_start
@@ -414,6 +426,7 @@ def run_cycle(
                 timed_out=timed_out,
                 suboptimal=suboptimal,
                 rung=rung,
+                screened=screened,
             )
             batches.append(record)
             if on_batch is not None:
@@ -482,6 +495,7 @@ def _cycle_worker(payload: tuple) -> CycleResult:
         queue_capacity,
         max_batch,
         fast_path,
+        lp_screen,
         faults,
         cycle_budget,
     ) = payload
@@ -504,6 +518,7 @@ def _cycle_worker(payload: tuple) -> CycleResult:
         max_batch=max_batch,
         check_cancelled=check_cancelled,
         fast_path=fast_path,
+        lp_screen=lp_screen,
         budget=(
             CycleBudget(cycle_budget) if cycle_budget is not None else None
         ),
@@ -768,6 +783,7 @@ class Broker:
                 breaker=breaker,
                 time_limit=config.time_limit,
                 fast_path=config.fast_path,
+                lp_screen=config.lp_screen,
             )
         self._breaker = breaker
         check_cancelled = None
@@ -796,6 +812,7 @@ class Broker:
                 max_batch=config.max_batch,
                 check_cancelled=check_cancelled,
                 fast_path=config.fast_path,
+                lp_screen=config.lp_screen,
                 on_batch=writer.on_batch if writer is not None else None,
                 ladder=ladder,
             )
@@ -819,6 +836,7 @@ class Broker:
                 config.queue_capacity,
                 config.max_batch,
                 config.fast_path,
+                config.lp_screen,
                 self.faults,
                 config.cycle_budget,
             )

@@ -194,7 +194,10 @@ class BatchRecord:
     produced the decision (see :data:`repro.resilience.ladder.RUNGS`);
     ``"exact"`` is also the value for pre-ladder records, ``"cache"``
     for decision-cache hits and ``"shed"`` for shed-only records, so old
-    WALs replay with the correct default.
+    WALs replay with the correct default.  ``screened`` marks an exact
+    decision answered by the LP relaxation bound alone (``lp_screen`` —
+    certified-optimal, no integer solve dispatched); it defaults off so
+    pre-screening WALs replay unchanged.
     """
 
     cycle: int
@@ -210,6 +213,7 @@ class BatchRecord:
     timed_out: bool = False
     suboptimal: bool = False
     rung: str = "exact"
+    screened: bool = False
 
 
 @dataclass
@@ -241,6 +245,14 @@ class TelemetryCollector:
     shards: dict[int, dict[str, Any]] = field(default_factory=dict)
     ledger_price_iterations: int = 0
     reconciliation_evictions: int = 0
+    #: Worker processes the per-round shard solves ran on (1 = serial).
+    shard_concurrency: int = 1
+    #: Warm-start counters (see :mod:`repro.lp.warmstart`): solves the
+    #: resolve sessions answered without dispatching the backend, summed
+    #: across whatever sessions the run wired in (shard price loops, the
+    #: decomposed solver).  ``screened_batches`` is derived from the batch
+    #: records; this one is set by the component that owns the sessions.
+    warm_start_hits: int = 0
 
     def record_batch(self, record: BatchRecord) -> None:
         self.batches.append(record)
@@ -332,6 +344,8 @@ class TelemetryCollector:
             ],
             "timed_out_batches": sum(1 for r in self.batches if r.timed_out),
             "suboptimal_batches": sum(1 for r in self.batches if r.suboptimal),
+            "screened_batches": sum(1 for r in self.batches if r.screened),
+            "warm_start_hits": self.warm_start_hits,
             "rung_counts": self.rung_counts(),
             "cache_hits": hits,
             "cache_misses": solved,
@@ -355,6 +369,7 @@ class TelemetryCollector:
             "num_shards": len(self.shards),
             "ledger_price_iterations": self.ledger_price_iterations,
             "reconciliation_evictions": self.reconciliation_evictions,
+            "shard_concurrency": self.shard_concurrency,
         }
         if self.shards:
             payload["shards"] = {

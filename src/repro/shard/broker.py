@@ -236,6 +236,7 @@ def _shard_cycle_worker(payload: tuple):
         queue_capacity,
         max_batch,
         fast_path,
+        lp_screen,
         duals,
         faults,
         cycle_budget,
@@ -260,6 +261,7 @@ def _shard_cycle_worker(payload: tuple):
         max_batch=max_batch,
         check_cancelled=check_cancelled,
         fast_path=fast_path,
+        lp_screen=lp_screen,
         instance=instance,
         dual_prices=duals,
         budget=(
@@ -448,6 +450,7 @@ class ShardedBroker:
         t0 = time.perf_counter()
         self._worker_restarts = 0
         self._backoff_seconds = 0.0
+        self._shard_concurrency = 1
         self._budget = (
             CycleBudget(config.cycle_budget)
             if config.cycle_budget is not None
@@ -468,6 +471,7 @@ class ShardedBroker:
                 breaker=self._breakers[shard_id],
                 time_limit=config.time_limit,
                 fast_path=config.fast_path,
+                lp_screen=config.lp_screen,
             )
             if self._budget is not None or self._breakers[shard_id] is not None
             else None
@@ -549,6 +553,7 @@ class ShardedBroker:
         telemetry.backoff_seconds = self._backoff_seconds
         telemetry.ledger_price_iterations = ledger.price_iterations
         telemetry.reconciliation_evictions = ledger.evictions
+        telemetry.shard_concurrency = self._shard_concurrency
         for shard_id, breaker in enumerate(self._breakers):
             if breaker is None and not self._hedges[shard_id]:
                 continue
@@ -586,6 +591,7 @@ class ShardedBroker:
                 pool = SolverPool(
                     config.workers, cache_size=config.cache_size
                 )
+                self._shard_concurrency = pool.workers
             for index in range(start, config.num_cycles):
                 if self._stop_requested:
                     break
@@ -628,6 +634,7 @@ class ShardedBroker:
                 config.queue_capacity,
                 config.max_batch,
                 config.fast_path,
+                config.lp_screen,
                 duals,
                 self.faults if pool is not None else None,
                 config.cycle_budget,
@@ -735,6 +742,7 @@ class ShardedBroker:
             queue_capacity,
             max_batch,
             fast_path,
+            lp_screen,
             duals,
             _faults,
             _cycle_budget,
@@ -751,6 +759,7 @@ class ShardedBroker:
             queue_capacity=queue_capacity,
             max_batch=max_batch,
             fast_path=fast_path,
+            lp_screen=lp_screen,
             instance=instance,
             dual_prices=duals,
             ladder=self._ladders[shard_id],
